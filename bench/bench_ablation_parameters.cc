@@ -1,0 +1,77 @@
+// Ablation — KGQAn's design parameters (not a paper figure; supports the
+// parameter discussion of Sec. 7.1.6 and the design choices DESIGN.md
+// calls out).  Sweeps, on QALD-9:
+//   * maxVR            (Max Fetched Vertices; paper value 400)
+//   * top-k predicates (Number of Predicates; paper value 20)
+//   * max queries      (Max number of Queries; paper value 40)
+//   * score gap        (this implementation's answer-union pruning)
+// reporting Macro F1 and mean linking+execution time per question.  The
+// QU cost model is disabled: it is constant across configurations.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/runner.h"
+
+namespace {
+
+using namespace kgqan;
+
+void RunRow(const char* param, const char* value,
+            const core::KgqanConfig& config, benchgen::Benchmark& bench,
+            bool is_default) {
+  core::KgqanEngine engine(config);
+  eval::SystemBenchmarkResult r = eval::RunEvaluation(engine, bench);
+  std::printf("%-18s %-8s%-2s %8.2f %14.2f\n", param, value,
+              is_default ? "*" : "", r.macro.f1 * 100,
+              r.avg_timings.linking_ms + r.avg_timings.execution_ms);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgqan;
+  double scale = bench::ParseScale(argc, argv);
+
+  benchgen::Benchmark b =
+      bench::BuildAnnounced(benchgen::BenchmarkId::kQald9, scale);
+
+  core::KgqanConfig base;
+  base.qu.inference.enabled = false;
+
+  std::printf("\nAblation: KGQAn parameters on QALD-9 (* = paper/default "
+              "setting)\n");
+  bench::PrintRule(56);
+  std::printf("%-18s %-10s %8s %14s\n", "Parameter", "Value", "F1",
+              "link+exec ms");
+  bench::PrintRule(56);
+
+  for (size_t max_vr : {50u, 100u, 400u, 800u}) {
+    core::KgqanConfig cfg = base;
+    cfg.max_fetched_vertices = max_vr;
+    RunRow("maxVR", std::to_string(max_vr).c_str(), cfg, b, max_vr == 400u);
+  }
+  bench::PrintRule(56);
+  for (size_t k : {5u, 10u, 20u, 40u}) {
+    core::KgqanConfig cfg = base;
+    cfg.top_k_predicates = k;
+    RunRow("top-k predicates", std::to_string(k).c_str(), cfg, b, k == 20u);
+  }
+  bench::PrintRule(56);
+  for (size_t q : {5u, 20u, 40u}) {
+    core::KgqanConfig cfg = base;
+    cfg.max_queries = q;
+    RunRow("max queries", std::to_string(q).c_str(), cfg, b, q == 40u);
+  }
+  bench::PrintRule(56);
+  for (double gap : {0.7, 0.85, 1.0}) {
+    core::KgqanConfig cfg = base;
+    cfg.score_gap = gap;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2f", gap);
+    RunRow("score gap", buf, cfg, b, gap == 0.85);
+  }
+  bench::PrintRule(56);
+  return 0;
+}

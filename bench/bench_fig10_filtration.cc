@@ -1,0 +1,49 @@
+// Figure 10 — Filtration ablation: KGQAn's P/R/F1 with and without the
+// post-filtration step (Sec. 6), on QALD-9 and LC-QuAD 1.0.
+//
+// Expected shape (Sec. 7.3.3): filtering improves precision, slightly
+// reduces recall, and improves the final F1 on both benchmarks; QALD-9
+// benefits more because a larger share of its questions expect date /
+// numerical / boolean answers, which the data-type filter handles very
+// well.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace kgqan;
+  double scale = bench::ParseScale(argc, argv);
+
+  std::printf("Figure 10: KGQAn with and without answer filtration "
+              "(percent)\n");
+  bench::PrintRule(74);
+  std::printf("%-13s %-16s %8s %8s %8s\n", "Benchmark", "Configuration",
+              "P", "R", "F1");
+  bench::PrintRule(74);
+
+  for (benchgen::BenchmarkId id :
+       {benchgen::BenchmarkId::kQald9, benchgen::BenchmarkId::kLcQuad}) {
+    benchgen::Benchmark b = bench::BuildAnnounced(id, scale);
+
+    core::KgqanConfig with_cfg = bench::DefaultEngineConfig();
+    core::KgqanConfig without_cfg = with_cfg;
+    without_cfg.enable_filtration = false;
+
+    core::KgqanEngine with_filter(with_cfg);
+    core::KgqanEngine without_filter(without_cfg);
+    eval::SystemBenchmarkResult on = eval::RunEvaluation(with_filter, b);
+    eval::SystemBenchmarkResult off = eval::RunEvaluation(without_filter, b);
+
+    std::printf("%-13s %-16s %8.1f %8.1f %8.1f\n", b.name.c_str(),
+                "no filtration", off.macro.p * 100, off.macro.r * 100,
+                off.macro.f1 * 100);
+    std::printf("%-13s %-16s %8.1f %8.1f %8.1f\n", b.name.c_str(),
+                "with filtration", on.macro.p * 100, on.macro.r * 100,
+                on.macro.f1 * 100);
+    std::fflush(stdout);
+  }
+  bench::PrintRule(74);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7 — Response time: average per-question time of gAnswer (G),
+// EDGQA (E) and KGQAn (K) on every benchmark, split bottom-up into
+// question understanding (QU), linking, and execution & filtration (E&F).
+//
+// Expected shape (Sec. 7.2.4): KGQAn's time is dominated by the QU model
+// inference; its linking is the cheapest phase; gAnswer's in-memory
+// indices make its linking fast; total response time tracks pipeline
+// complexity, not KG size (KGQAn takes similar time on LC-QuAD and MAG).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace kgqan;
+  double scale = bench::ParseScale(argc, argv);
+
+  std::printf("Figure 7: average response time per question, split into "
+              "QU / Linking / E&F (milliseconds)\n");
+  bench::PrintRule(86);
+  std::printf("%-13s %-9s %10s %10s %10s %10s\n", "Benchmark", "System",
+              "QU", "Linking", "E&F", "Total");
+  bench::PrintRule(86);
+
+  for (benchgen::BenchmarkId id : benchgen::AllBenchmarks()) {
+    benchgen::Benchmark b = bench::BuildAnnounced(id, scale);
+    core::KgqanEngine kgqan(bench::DefaultEngineConfig());
+    baselines::GAnswerLike ganswer;
+    baselines::EdgqaLike edgqa;
+    bench::ConfigureEdgqaFor(edgqa, id, b);
+    ganswer.Preprocess(*b.endpoint);
+    edgqa.Preprocess(*b.endpoint);
+
+    struct Entry {
+      const char* label;
+      eval::SystemBenchmarkResult result;
+    };
+    Entry entries[] = {
+        {"G", eval::RunEvaluation(ganswer, b)},
+        {"E", eval::RunEvaluation(edgqa, b)},
+        {"K", eval::RunEvaluation(kgqan, b)},
+    };
+    for (const Entry& e : entries) {
+      const core::PhaseTimings& t = e.result.avg_timings;
+      std::printf("%-13s %-9s %10.2f %10.2f %10.2f %10.2f\n",
+                  b.name.c_str(), e.label, t.qu_ms, t.linking_ms,
+                  t.execution_ms, t.TotalMs());
+    }
+    std::fflush(stdout);
+  }
+  bench::PrintRule(86);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 3 — Answer quality: precision / recall / Macro F1 of every system
+// on all five benchmarks.  NSQA is proprietary (footnote 10): as in the
+// paper, its two published rows are reported as constants.
+//
+// Paper reference (Table 3):
+//             QALD-9          LC-QuAD 1.0     YAGO           DBLP          MAG
+//   NSQA      31.9/32.1/31.3  44.8/45.8/44.5  -              -             -
+//   gAnswer   29.3/32.7/29.8  82.2/ 4.3/ 8.2  58.5/34.1/43.0 78.0/2.0/3.9  0/0/0
+//   EDGQA     31.3/40.3/32.0  50.5/56.0/53.1  41.9/40.8/41.4 8/8/8         4/4/4
+//   KGQAn     49.8/39.4/44.0  58.1/47.1/52.0  48.5/65.2/55.6 57.9/52.0/54.8 55.4/45.6/50.0
+// Expected shape: KGQAn comparable to the best on the two seen
+// benchmarks, far ahead on the three unseen KGs; gAnswer collapses on
+// LC-QuAD and scores zero on MAG.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace kgqan;
+  double scale = bench::ParseScale(argc, argv);
+
+  struct Row {
+    std::string benchmark;
+    eval::SystemBenchmarkResult kgqan, ganswer, edgqa;
+  };
+  std::vector<Row> rows;
+
+  for (benchgen::BenchmarkId id : benchgen::AllBenchmarks()) {
+    benchgen::Benchmark b = bench::BuildAnnounced(id, scale);
+    core::KgqanEngine kgqan(bench::DefaultEngineConfig());
+    baselines::GAnswerLike ganswer;
+    baselines::EdgqaLike edgqa;
+    bench::ConfigureEdgqaFor(edgqa, id, b);
+    ganswer.Preprocess(*b.endpoint);
+    edgqa.Preprocess(*b.endpoint);
+
+    Row row;
+    row.benchmark = b.name;
+    row.kgqan = eval::RunEvaluation(kgqan, b);
+    row.ganswer = eval::RunEvaluation(ganswer, b);
+    row.edgqa = eval::RunEvaluation(edgqa, b);
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("\nTable 3: Macro precision / recall / F1 on the five "
+              "benchmarks (percent)\n");
+  bench::PrintRule(96);
+  std::printf("%-9s", "System");
+  for (const Row& row : rows) std::printf(" | %-17s", row.benchmark.c_str());
+  std::printf("\n%-9s", "");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf(" | %5s %5s %5s", "P", "R", "F1");
+  }
+  std::printf("\n");
+  bench::PrintRule(96);
+
+  // NSQA: published numbers for the two seen benchmarks (footnote 10).
+  std::printf("%-9s | %5.1f %5.1f %5.1f | %5.1f %5.1f %5.1f", "NSQA*",
+              31.89, 32.05, 31.26, 44.76, 45.82, 44.45);
+  std::printf(" | %17s | %17s | %17s\n", "-", "-", "-");
+
+  auto print_system = [&](const char* name,
+                          const eval::SystemBenchmarkResult Row::*member) {
+    std::printf("%-9s", name);
+    for (const Row& row : rows) {
+      const eval::SystemBenchmarkResult& r = row.*member;
+      std::printf(" | %5.1f %5.1f %5.1f", r.macro.p * 100, r.macro.r * 100,
+                  r.macro.f1 * 100);
+    }
+    std::printf("\n");
+  };
+  print_system("gAnswer", &Row::ganswer);
+  print_system("EDGQA", &Row::edgqa);
+  print_system("KGQAn", &Row::kgqan);
+  bench::PrintRule(96);
+  std::printf("(*NSQA rows are the numbers published in [31]; the system "
+              "itself is proprietary.)\n");
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "baselines/ganswer_like.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "qu/pgp.h"
+#include "rdf/term.h"
+#include "text/tokenizer.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace kgqan::baselines {
+
+namespace {
+
+RuleQuOptions GAnswerRules() {
+  RuleQuOptions opts;
+  // Curated on QALD-9: simple wh / boolean patterns only.
+  opts.handle_imperatives = false;
+  opts.handle_how_many = false;
+  opts.handle_quotes = false;
+  opts.max_entity_tokens = 4;
+  opts.handle_and_split = false;
+  opts.handle_paths = false;
+  opts.strict_templates = true;
+  opts.lexicon = &QaldCuratedLexicon();
+  return opts;
+}
+
+}  // namespace
+
+GAnswerLike::GAnswerLike() : qu_(GAnswerRules()) {}
+
+GAnswerLike::PreprocessStats GAnswerLike::Preprocess(
+    sparql::Endpoint& endpoint) {
+  util::Stopwatch watch;
+  auto index = std::make_unique<UriTokenIndex>();
+  index->Build(endpoint);
+  PreprocessStats stats;
+  stats.seconds = watch.ElapsedSeconds();
+  stats.index_bytes = index->ApproxBytes();
+  indexes_[endpoint.name()] = std::move(index);
+  return stats;
+}
+
+std::vector<std::string> GAnswerLike::ExpandSynonyms(
+    const std::string& word) {
+  // The predefined synonym dictionary [41]: relation mention -> predicate
+  // vocabulary.
+  static const std::unordered_map<std::string, std::vector<std::string>>*
+      kSynonyms = new std::unordered_map<std::string,
+                                         std::vector<std::string>>({
+          {"wife", {"spouse"}},
+          {"husband", {"spouse"}},
+          {"married", {"spouse"}},
+          {"flows", {"outflow", "mouth"}},
+          {"flow", {"outflow", "mouth"}},
+          {"born", {"birth"}},
+          {"died", {"death"}},
+          {"die", {"death"}},
+          {"wrote", {"author"}},
+          {"written", {"author"}},
+          {"height", {"elevation"}},
+          {"attend", {"alma", "mater"}},
+          {"studied", {"alma", "mater"}},
+          {"study", {"alma", "mater"}},
+          {"leader", {"president", "mayor"}},
+          {"spoken", {"language"}},
+      });
+  std::vector<std::string> out{word};
+  auto it = kSynonyms->find(word);
+  if (it != kSynonyms->end()) {
+    for (const std::string& s : it->second) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> GAnswerLike::LinkEntityPhrase(
+    const std::string& endpoint_name, const std::string& phrase,
+    size_t limit) const {
+  auto it = indexes_.find(endpoint_name);
+  if (it == indexes_.end()) return {};
+  return it->second->Lookup(phrase, limit);
+}
+
+std::vector<std::string> GAnswerLike::LinkRelationPhrase(
+    sparql::Endpoint& endpoint, const std::string& entity_iri,
+    const std::string& relation_phrase) const {
+  std::unordered_set<std::string> cand_set;
+  for (const char* pattern :
+       {"SELECT DISTINCT ?p WHERE { <%s> ?p ?o . }",
+        "SELECT DISTINCT ?p WHERE { ?s ?p <%s> . }"}) {
+    auto rs = endpoint.Query(util::ReplaceAll(pattern, "%s", entity_iri));
+    if (!rs.ok()) continue;
+    for (size_t r = 0; r < rs->NumRows(); ++r) {
+      const auto& p = rs->At(r, 0);
+      if (p.has_value() && p->IsIri()) cand_set.insert(p->value);
+    }
+  }
+  return MatchPredicates(
+      std::vector<std::string>(cand_set.begin(), cand_set.end()),
+      text::ContentTokens(relation_phrase));
+}
+
+std::vector<std::string> GAnswerLike::MatchPredicates(
+    const std::vector<std::string>& candidates,
+    const std::vector<std::string>& relation_words) const {
+  // Expand the question's relation words through the synonym dictionary.
+  std::unordered_set<std::string> wanted;
+  for (const std::string& w : relation_words) {
+    for (const std::string& s : ExpandSynonyms(w)) wanted.insert(s);
+  }
+  std::vector<std::pair<size_t, std::string>> ranked;
+  for (const std::string& p : candidates) {
+    std::vector<std::string> words =
+        util::SplitIdentifierWords(rdf::IriLocalName(p));
+    size_t overlap = 0;
+    for (const std::string& w : words) {
+      if (wanted.count(w)) ++overlap;
+    }
+    if (overlap > 0) ranked.emplace_back(overlap, p);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<std::string> out;
+  for (const auto& [n, p] : ranked) {
+    (void)n;
+    out.push_back(p);
+    if (out.size() >= 3) break;
+  }
+  return out;
+}
+
+core::QaResponse GAnswerLike::Answer(const std::string& question,
+                                     sparql::Endpoint& endpoint) {
+  core::QaResponse resp;
+  util::Stopwatch watch;
+
+  qu::TriplePatterns triples = qu_.Extract(question);
+  resp.timings.qu_ms = watch.ElapsedMillis();
+  if (triples.empty()) return resp;
+  resp.understood = true;
+  qu::Pgp pgp = qu::Pgp::Build(triples);
+  resp.is_boolean = pgp.IsBoolean();
+
+  // ---- Linking via the pre-built in-memory index (fast; Sec. 7.2.4). ----
+  watch.Restart();
+  struct LinkedTriple {
+    std::vector<std::string> subjects;  // Entity candidates or empty (var).
+    std::vector<std::string> objects;
+    std::vector<std::string> predicates;
+    bool a_is_var = false;
+    bool b_is_var = false;
+  };
+  std::vector<LinkedTriple> linked;
+  bool link_failed = false;
+  for (const qu::PhraseTriple& tp : triples) {
+    LinkedTriple lt;
+    lt.a_is_var = tp.a.is_variable;
+    lt.b_is_var = tp.b.is_variable;
+    if (!tp.a.is_variable) {
+      lt.subjects = LinkEntityPhrase(endpoint.name(), tp.a.label, 3);
+      if (lt.subjects.empty()) link_failed = true;
+    }
+    if (!tp.b.is_variable) {
+      lt.objects = LinkEntityPhrase(endpoint.name(), tp.b.label, 3);
+      if (lt.objects.empty()) link_failed = true;
+    }
+    // Candidate predicates: those connected to the linked entities.
+    std::unordered_set<std::string> cand_set;
+    for (const std::string& v :
+         lt.subjects.empty() ? lt.objects : lt.subjects) {
+      for (const char* pattern :
+           {"SELECT DISTINCT ?p WHERE { <%s> ?p ?o . }",
+            "SELECT DISTINCT ?p WHERE { ?s ?p <%s> . }"}) {
+        std::string q = util::ReplaceAll(pattern, "%s", v);
+        auto rs = endpoint.Query(q);
+        if (!rs.ok()) continue;
+        for (size_t r = 0; r < rs->NumRows(); ++r) {
+          const auto& p = rs->At(r, 0);
+          if (p.has_value() && p->IsIri()) cand_set.insert(p->value);
+        }
+      }
+    }
+    lt.predicates = MatchPredicates(
+        std::vector<std::string>(cand_set.begin(), cand_set.end()),
+        text::ContentTokens(tp.relation));
+    if (lt.predicates.empty()) link_failed = true;
+    linked.push_back(std::move(lt));
+  }
+  resp.timings.linking_ms = watch.ElapsedMillis();
+  watch.Restart();
+  if (link_failed || linked.size() != 1) {
+    // Multi-triple questions are already rejected by the rules; a failed
+    // link means no answer.
+    resp.timings.execution_ms = watch.ElapsedMillis();
+    return resp;
+  }
+
+  // ---- Execution: try (entity, predicate) combinations, both directions.
+  const LinkedTriple& lt = linked[0];
+  if (resp.is_boolean) {
+    for (const std::string& s : lt.subjects) {
+      for (const std::string& o : lt.objects) {
+        for (const std::string& p : lt.predicates) {
+          for (bool flip : {false, true}) {
+            std::string q = "ASK { <" + (flip ? o : s) + "> <" + p + "> <" +
+                            (flip ? s : o) + "> . }";
+            auto rs = endpoint.Query(q);
+            if (rs.ok() && rs->is_ask() && rs->ask_value()) {
+              resp.boolean_answer = true;
+              resp.timings.execution_ms = watch.ElapsedMillis();
+              return resp;
+            }
+          }
+        }
+      }
+    }
+    resp.timings.execution_ms = watch.ElapsedMillis();
+    return resp;
+  }
+
+  const std::vector<std::string>& entities =
+      lt.subjects.empty() ? lt.objects : lt.subjects;
+  for (const std::string& v : entities) {
+    for (const std::string& p : lt.predicates) {
+      for (bool flip : {false, true}) {
+        std::string q = flip ? "SELECT DISTINCT ?x WHERE { ?x <" + p +
+                                   "> <" + v + "> . }"
+                             : "SELECT DISTINCT ?x WHERE { <" + v + "> <" +
+                                   p + "> ?x . }";
+        auto rs = endpoint.Query(q);
+        if (!rs.ok() || rs->NumRows() == 0) continue;
+        for (size_t r = 0; r < rs->NumRows(); ++r) {
+          const auto& x = rs->At(r, 0);
+          if (x.has_value()) resp.answers.push_back(*x);
+        }
+        resp.timings.execution_ms = watch.ElapsedMillis();
+        return resp;
+      }
+    }
+  }
+  resp.timings.execution_ms = watch.ElapsedMillis();
+  return resp;
+}
+
+}  // namespace kgqan::baselines

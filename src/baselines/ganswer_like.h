@@ -1,0 +1,74 @@
+// gAnswer-style baseline (Sec. 2, [27, 64]): dependency-rule question
+// understanding curated on QALD-9-style questions, plus entity linking
+// through a pre-built inverted index over vertex *URI local names* (its
+// crossWikis-derived dictionary) and relation linking through a predefined
+// synonym dictionary [41] with exact token matching.
+//
+// Reproduced behaviours: substantial per-KG pre-processing time and a
+// large in-memory index (Table 2); high precision / low recall (it only
+// answers questions its rules and exact matches cover); total failure on
+// KGs whose URIs are opaque codes, because the index is built from URI
+// text (0 answered on MAG, ~2 on DBLP; Sec. 7.2.3).
+
+#ifndef KGQAN_BASELINES_GANSWER_LIKE_H_
+#define KGQAN_BASELINES_GANSWER_LIKE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/label_index.h"
+#include "baselines/rule_qu.h"
+#include "core/qa_interface.h"
+
+namespace kgqan::baselines {
+
+class GAnswerLike : public core::QaSystem {
+ public:
+  GAnswerLike();
+
+  std::string name() const override { return "gAnswer"; }
+
+  // Builds the URI-token inverted index for this endpoint (keyed by
+  // endpoint name, so several KGs can be prepared).
+  PreprocessStats Preprocess(sparql::Endpoint& endpoint) override;
+
+  core::QaResponse Answer(const std::string& question,
+                          sparql::Endpoint& endpoint) override;
+
+  // The system's own curated-rule question understanding (exposed for the
+  // Fig. 9 linking experiment, which probes linking *through* each
+  // system's extraction, as the paper's analysis does).
+  qu::TriplePatterns ExtractQuestion(const std::string& question) const {
+    return qu_.Extract(question);
+  }
+
+  // Expands a relation word through the predefined synonym dictionary.
+  static std::vector<std::string> ExpandSynonyms(const std::string& word);
+
+  // Entity candidates from the pre-built index (top-1 is its link).
+  std::vector<std::string> LinkEntityPhrase(const std::string& endpoint_name,
+                                            const std::string& phrase,
+                                            size_t limit) const;
+
+  // Relation candidates for `relation_phrase` among the predicates
+  // connected to `entity_iri` (for the Fig. 9 linking experiment).
+  std::vector<std::string> LinkRelationPhrase(
+      sparql::Endpoint& endpoint, const std::string& entity_iri,
+      const std::string& relation_phrase) const;
+
+ private:
+  // Ranks candidate predicates for `relation_words` by synonym-expanded
+  // token overlap with the predicate local names; empty if no overlap.
+  std::vector<std::string> MatchPredicates(
+      const std::vector<std::string>& candidates,
+      const std::vector<std::string>& relation_words) const;
+
+  RuleBasedQu qu_;
+  std::unordered_map<std::string, std::unique_ptr<UriTokenIndex>> indexes_;
+};
+
+}  // namespace kgqan::baselines
+
+#endif  // KGQAN_BASELINES_GANSWER_LIKE_H_

@@ -1,0 +1,379 @@
+#include "baselines/rule_qu.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "nlp/pos_tagger.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace kgqan::baselines {
+
+namespace {
+
+struct Tok {
+  std::string raw;
+  std::string lower;
+  bool capitalized = false;
+  bool from_quote = false;
+};
+
+struct Span {
+  size_t begin = 0;
+  size_t end = 0;
+  bool Contains(size_t i) const { return i >= begin && i < end; }
+};
+
+bool IsOpener(const std::string& w) {
+  return w == "who" || w == "what" || w == "which" || w == "where" ||
+         w == "when" || w == "whom";
+}
+
+bool IsAux(const std::string& w) {
+  return w == "is" || w == "are" || w == "was" || w == "were" || w == "did" ||
+         w == "does" || w == "do" || w == "has" || w == "have";
+}
+
+bool IsImperative(const std::string& w) {
+  return w == "name" || w == "give" || w == "list" || w == "show" ||
+         w == "tell" || w == "find";
+}
+
+}  // namespace
+
+const std::unordered_set<std::string>& BenchmarkRelationLexicon() {
+  static const std::unordered_set<std::string>* kLexicon =
+      new std::unordered_set<std::string>({
+          // Template vocabulary the rules were curated on.
+          "spouse",     "wife",       "husband",     "married",
+          "capital",    "population", "mayor",       "currency",
+          "language",   "elevation",  "birth",       "place",
+          "death",      "date",       "founded",     "wrote",
+          "written",    "directed",   "starring",    "starred",
+          "author",     "authors",    "published",   "citations",
+          "affiliated", "advisor",    "advised",     "field",
+          "nearest",    "city",       "flow",        "flows",
+          "crosses",    "attend",     "attended",    "studied",
+          "born",       "died",       "die",         "height",
+          "area",       "length",     "leader",      "president",
+          "headquarters", "venue",    "institution", "year",
+          "collaborated", "paper",    "film",        "films",
+          "book",       "books",      "movie",       "sea",
+          "river",      "country",    "person",      "university",
+          "study",      "spoken",     "mountain",    "range",
+          "alma",       "mater",      "work",        "works",
+          "appeared",   "title",      "pages",       "shore",
+          "writer",     "director",   "founder",     "serves",
+          "located",    "lies",       "resides",     "holds",
+      });
+  return *kLexicon;
+}
+
+const std::unordered_set<std::string>& QaldCuratedLexicon() {
+  static const std::unordered_set<std::string>* kLexicon =
+      new std::unordered_set<std::string>({
+          "spouse",     "wife",       "husband",     "married",
+          "capital",    "population", "mayor",       "currency",
+          "language",   "elevation",  "birth",       "place",
+          "death",      "date",       "founded",     "wrote",
+          "written",    "directed",   "starring",    "starred",
+          "author",     "nearest",    "city",        "flow",
+          "flows",      "crosses",    "attend",      "studied",
+          "born",       "died",       "die",         "height",
+          "area",       "length",     "leader",      "president",
+          "headquarters", "year",     "sea",         "river",
+          "country",    "person",     "university",  "study",
+          "spoken",     "mountain",   "range",       "alma",
+          "mater",      "affiliated", "institution",
+      });
+  return *kLexicon;
+}
+
+qu::TriplePatterns RuleBasedQu::Extract(const std::string& question) const {
+  // Quoted titles.
+  std::vector<std::string> quoted;
+  std::string text;
+  {
+    bool has_quote = question.find('"') != std::string::npos;
+    if (has_quote && !options_.handle_quotes) return {};  // Rules give up.
+    if (has_quote) {
+      size_t i = 0;
+      while (i < question.size()) {
+        if (question[i] == '"') {
+          size_t end = question.find('"', i + 1);
+          if (end == std::string::npos) return {};
+          std::string inside = question.substr(i + 1, end - i - 1);
+          // The curated constituency rules shatter long quoted phrases —
+          // the long-phrase weakness of Sec. 7.2.3: understanding fails
+          // outright beyond max_quote_tokens content words.
+          std::vector<std::string> toks = text::ContentTokens(inside);
+          if (toks.size() > options_.max_quote_tokens) return {};
+          quoted.push_back(util::Join(toks, " "));
+          text += " BASELINEQ" + std::to_string(quoted.size() - 1) + " ";
+          i = end + 1;
+          continue;
+        }
+        text += question[i];
+        ++i;
+      }
+    } else {
+      text = question;
+    }
+  }
+
+  // Tokenize, preserving case.
+  std::vector<Tok> tokens;
+  {
+    std::string cur;
+    auto flush = [&]() {
+      if (cur.empty()) return;
+      Tok t;
+      t.raw = cur;
+      t.lower = util::ToLower(cur);
+      t.capitalized =
+          std::isupper(static_cast<unsigned char>(cur[0])) != 0;
+      if (cur.rfind("BASELINEQ", 0) == 0) {
+        int id = std::atoi(cur.c_str() + 9);
+        if (id >= 0 && static_cast<size_t>(id) < quoted.size()) {
+          t.raw = quoted[static_cast<size_t>(id)];
+          t.from_quote = true;
+        }
+      }
+      tokens.push_back(std::move(t));
+      cur.clear();
+    };
+    for (char c : text) {
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'' ||
+          c == '-') {
+        cur.push_back(c);
+      } else {
+        flush();
+      }
+    }
+    flush();
+  }
+  if (tokens.empty()) return {};
+
+  // Opener.
+  nlp::PosTagger opener_tagger;
+  auto is_type_noun = [&](size_t i) {
+    if (i >= tokens.size() || tokens[i].capitalized || tokens[i].from_quote) {
+      return false;
+    }
+    if (opener_tagger.Tag(tokens[i].lower) != nlp::PosTag::kNoun) {
+      return false;
+    }
+    // Compound noun phrase head ("the birth date of ...") is a relation,
+    // not a type.
+    if (i + 1 < tokens.size() && !tokens[i + 1].capitalized &&
+        !tokens[i + 1].from_quote &&
+        opener_tagger.Tag(tokens[i + 1].lower) == nlp::PosTag::kNoun) {
+      return false;
+    }
+    return true;
+  };
+  const std::string& w0 = tokens[0].lower;
+  bool boolean = false;
+  size_t start = 0;
+  std::string unknown_label = "unknown";
+  if (IsOpener(w0)) {
+    start = 1;
+    unknown_label = w0;
+    // "which <type>" consumes the type noun.
+    if ((w0 == "which" || w0 == "what") && is_type_noun(1)) {
+      unknown_label = tokens[1].lower;
+      start = 2;
+    }
+  } else if (w0 == "how" && tokens.size() > 1 &&
+             (tokens[1].lower == "many" || tokens[1].lower == "much")) {
+    if (!options_.handle_how_many) return {};
+    unknown_label = "number";
+    start = 2;
+  } else if (IsImperative(w0)) {
+    if (!options_.handle_imperatives) return {};
+    start = 1;
+    while (start < tokens.size() &&
+           (tokens[start].lower == "me" || tokens[start].lower == "all")) {
+      ++start;
+    }
+    if (start < tokens.size() && tokens[start].lower == "the") ++start;
+    if (is_type_noun(start)) {
+      unknown_label = tokens[start].lower;
+      ++start;
+    }
+  } else if (IsAux(w0)) {
+    boolean = true;
+    start = 1;
+  } else {
+    return {};  // Unrecognized pattern.
+  }
+
+  // Entity spans: capitalized runs (length-capped) and quote placeholders.
+  std::vector<Span> spans;
+  {
+    size_t i = start;
+    while (i < tokens.size()) {
+      if (!(tokens[i].capitalized || tokens[i].from_quote)) {
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < tokens.size() &&
+             (tokens[j].capitalized || tokens[j].from_quote)) {
+        ++j;
+      }
+      Span s;
+      s.begin = i;
+      // Longer runs than the rules expect: keep only the first tokens.
+      s.end = std::min(j, i + options_.max_entity_tokens);
+      spans.push_back(s);
+      i = j;
+    }
+  }
+
+  auto span_phrase = [&](const Span& s) {
+    std::string out;
+    for (size_t i = s.begin; i < s.end; ++i) {
+      if (!out.empty()) out += ' ';
+      out += tokens[i].raw;
+    }
+    return out;
+  };
+
+  nlp::PosTagger tagger;
+  auto relation_words = [&](size_t begin, size_t end) {
+    std::vector<std::string> words;
+    for (size_t i = begin; i < end; ++i) {
+      bool in_span = std::any_of(spans.begin(), spans.end(),
+                                 [&](const Span& s) { return s.Contains(i); });
+      if (in_span) continue;
+      const std::string& lw = tokens[i].lower;
+      if (text::IsStopWord(lw) || lw == "me" || lw == "all") continue;
+      if (tagger.Tag(lw) == nlp::PosTag::kNumber) continue;
+      words.push_back(lw);
+    }
+    return words;
+  };
+
+  const std::unordered_set<std::string>* lexicon =
+      options_.lexicon != nullptr ? options_.lexicon
+                                  : &BenchmarkRelationLexicon();
+  auto strict_ok = [&](const std::vector<std::string>& words) {
+    if (!options_.strict_templates) return true;
+    for (const std::string& w : words) {
+      if (!lexicon->count(w)) return false;
+    }
+    return !words.empty();
+  };
+
+  qu::TriplePatterns triples;
+  if (boolean) {
+    if (spans.size() < 2) return {};
+    std::vector<std::string> rel =
+        relation_words(spans[0].end, spans[1].begin);
+    if (rel.empty()) rel = relation_words(spans[1].end, tokens.size());
+    if (rel.empty() || !strict_ok(rel)) return {};
+    qu::PhraseTriple tp;
+    tp.a = qu::EntityPhrase(span_phrase(spans[0]));
+    tp.relation = util::Join(rel, " ");
+    tp.b = qu::EntityPhrase(span_phrase(spans[1]));
+    triples.push_back(std::move(tp));
+    return triples;
+  }
+
+  // Clause boundaries.
+  std::vector<std::pair<size_t, size_t>> clauses;
+  if (options_.handle_and_split) {
+    size_t cl_start = start;
+    for (size_t i = start; i < tokens.size(); ++i) {
+      if (tokens[i].lower != "and") continue;
+      bool rhs_entity = std::any_of(spans.begin(), spans.end(),
+                                    [&](const Span& s) {
+                                      return s.begin > i;
+                                    });
+      bool in_span = std::any_of(spans.begin(), spans.end(),
+                                 [&](const Span& s) { return s.Contains(i); });
+      if (!rhs_entity || in_span) continue;
+      if (i > cl_start) clauses.emplace_back(cl_start, i);
+      cl_start = i + 1;
+    }
+    if (cl_start < tokens.size()) clauses.emplace_back(cl_start, tokens.size());
+  } else {
+    // No conjunction support: a multi-clause question confuses the rules.
+    for (size_t i = start; i < tokens.size(); ++i) {
+      if (tokens[i].lower == "and") return {};
+    }
+    clauses.emplace_back(start, tokens.size());
+  }
+
+  int next_var = 2;
+  for (const auto& [cb, ce] : clauses) {
+    std::vector<const Span*> cl_spans;
+    for (const Span& s : spans) {
+      if (s.begin >= cb && s.end <= ce) cl_spans.push_back(&s);
+    }
+    if (cl_spans.empty()) continue;
+    const Span& entity = *cl_spans.front();
+
+    if (options_.handle_paths && entity.end == ce) {
+      // "R1 of the R2 of E".
+      std::vector<std::vector<std::string>> segs;
+      std::vector<std::string> cur;
+      bool valid = true;
+      for (size_t i = cb; i < entity.begin; ++i) {
+        const std::string& lw = tokens[i].lower;
+        if (lw == "of") {
+          segs.push_back(cur);
+          cur.clear();
+          continue;
+        }
+        if (text::IsStopWord(lw)) continue;
+        cur.push_back(lw);
+      }
+      if (!cur.empty()) valid = false;
+      segs.erase(std::remove_if(segs.begin(), segs.end(),
+                                [](const auto& s) { return s.empty(); }),
+                 segs.end());
+      if (valid && segs.size() >= 2 && strict_ok(segs[0]) &&
+          strict_ok(segs[1])) {
+        qu::PhraseTriple first;
+        first.a = qu::Unknown(1, unknown_label);
+        first.relation = util::Join(segs[0], " ");
+        first.b = qu::Unknown(next_var, "intermediate");
+        triples.push_back(first);
+        std::vector<std::string> rest;
+        for (size_t s = 1; s < segs.size(); ++s) {
+          for (const std::string& w : segs[s]) rest.push_back(w);
+        }
+        qu::PhraseTriple second;
+        second.a = qu::Unknown(next_var, "intermediate");
+        second.relation = util::Join(rest, " ");
+        second.b = qu::EntityPhrase(span_phrase(entity));
+        triples.push_back(second);
+        ++next_var;
+        continue;
+      }
+    }
+
+    std::vector<std::string> rel = relation_words(cb, ce);
+    if (rel.empty() && unknown_label != "unknown") rel = {unknown_label};
+    if (rel.empty() || !strict_ok(rel)) continue;
+    qu::PhraseTriple tp;
+    tp.a = qu::Unknown(1, unknown_label);
+    tp.relation = util::Join(rel, " ");
+    tp.b = qu::EntityPhrase(span_phrase(entity));
+    triples.push_back(std::move(tp));
+  }
+  return triples;
+}
+
+std::string RuleBasedQu::TypeWord(const std::string& question) const {
+  std::vector<std::string> toks = text::Tokenize(question);
+  if (toks.size() >= 2 && (toks[0] == "which" || toks[0] == "what") &&
+      !text::IsStopWord(toks[1])) {
+    return toks[1];
+  }
+  return "";
+}
+
+}  // namespace kgqan::baselines

@@ -1,0 +1,61 @@
+// Rule-based question understanding shared by the baseline systems.
+//
+// gAnswer and EDGQA parse questions with *curated* rules: linguistic
+// patterns hand-tailored to the QALD-9 / LC-QuAD 1.0 benchmarks (Sec. 2.1).
+// RuleBasedQu reproduces that approach: a restricted pattern parser whose
+// capabilities are feature flags, plus a closed lexicon of relation surface
+// words harvested from the benchmark templates ("strict template" mode).
+// Questions that deviate from the curated patterns — paraphrases, unusual
+// openers, long entity phrases — fail, exactly the generalization gap the
+// paper measures.
+
+#ifndef KGQAN_BASELINES_RULE_QU_H_
+#define KGQAN_BASELINES_RULE_QU_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "qu/phrase_triple.h"
+
+namespace kgqan::baselines {
+
+struct RuleQuOptions {
+  bool handle_imperatives = false;  // "Name/Give/List/Tell ..." openers.
+  bool handle_how_many = false;
+  bool handle_quotes = false;       // Quoted titles as entity mentions.
+  size_t max_entity_tokens = 4;     // Longer capitalized runs are truncated.
+  size_t max_quote_tokens = 3;      // Tokens kept from a quoted title.
+  bool handle_and_split = false;    // Multi-fact conjunctions.
+  bool handle_paths = false;        // "R1 of the R2 of E" chains.
+  bool strict_templates = true;     // Reject off-template relation words.
+  // The closed relation-surface vocabulary the rules were curated on;
+  // nullptr disables the check.
+  const std::unordered_set<std::string>* lexicon = nullptr;
+};
+
+// The relation-surface lexicon EDGQA's rules were curated on: the full
+// LC-QuAD 1.0 + QALD-9 template vocabulary.
+const std::unordered_set<std::string>& BenchmarkRelationLexicon();
+
+// The narrower lexicon gAnswer's rules were curated on: QALD-9 training
+// questions only (Sec. 2.1).
+const std::unordered_set<std::string>& QaldCuratedLexicon();
+
+class RuleBasedQu {
+ public:
+  explicit RuleBasedQu(const RuleQuOptions& options) : options_(options) {}
+
+  // Returns TP(q), or empty when the curated rules cannot parse `q`.
+  qu::TriplePatterns Extract(const std::string& question) const;
+
+  // The type noun named by a "which <type>" question, or "".
+  std::string TypeWord(const std::string& question) const;
+
+ private:
+  RuleQuOptions options_;
+};
+
+}  // namespace kgqan::baselines
+
+#endif  // KGQAN_BASELINES_RULE_QU_H_

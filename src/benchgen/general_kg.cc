@@ -1,0 +1,320 @@
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "benchgen/kg.h"
+#include "benchgen/names.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgqan::benchgen {
+
+namespace {
+
+constexpr const char* kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+// Per-flavor vocabulary: DBpedia-like uses dbo:/dbp:/dbr:, YAGO-like uses
+// yago:/schema.org-style predicates.  Both have readable URIs + labels.
+struct GeneralVocab {
+  std::string resource_prefix;
+  std::string ontology_prefix;
+  std::string class_prefix;
+};
+
+GeneralVocab VocabFor(KgFlavor flavor) {
+  if (flavor == KgFlavor::kYago) {
+    return {"http://yago-knowledge.org/resource/", "http://schema.org/",
+            "http://yago-knowledge.org/class/"};
+  }
+  return {"http://dbpedia.org/resource/", "http://dbpedia.org/ontology/",
+          "http://dbpedia.org/ontology/"};
+}
+
+class GeneralKgBuilder {
+ public:
+  GeneralKgBuilder(KgFlavor flavor, double scale, uint64_t seed)
+      : flavor_(flavor),
+        vocab_(VocabFor(flavor)),
+        rng_(seed),
+        names_(&rng_),
+        scale_(scale) {
+    kg_.flavor = flavor;
+    kg_.name = flavor == KgFlavor::kYago ? "YAGO" : "DBpedia";
+  }
+
+  BuiltKg Build() {
+    const size_t n_countries = Scaled(40);
+    const size_t n_cities = Scaled(280);
+    const size_t n_persons = Scaled(900);
+    const size_t n_seas = Scaled(24);
+    const size_t n_straits = Scaled(16);
+    const size_t n_rivers = Scaled(70);
+    const size_t n_mountains = Scaled(70);
+    const size_t n_films = Scaled(160);
+    const size_t n_books = Scaled(160);
+    const size_t n_companies = Scaled(90);
+
+    MakeCountries(n_countries);
+    MakeCities(n_cities);
+    MakeUniversities();
+    MakePersons(n_persons);
+    MakeSeasAndStraits(n_seas, n_straits);
+    MakeRivers(n_rivers);
+    MakeMountains(n_mountains);
+    MakeWorks(n_films, n_books);
+    MakeCompanies(n_companies);
+    return std::move(kg_);
+  }
+
+ private:
+  size_t Scaled(size_t base) {
+    size_t n = static_cast<size_t>(double(base) * scale_);
+    return n < 2 ? 2 : n;
+  }
+
+  std::string Pred(const std::string& local) {
+    return vocab_.ontology_prefix + local;
+  }
+  std::string Class(const std::string& local) {
+    return vocab_.class_prefix + local;
+  }
+
+  EntityInfo NewEntity(const std::string& label, const std::string& type_key,
+                       const std::string& class_local) {
+    EntityInfo e;
+    e.label = label;
+    e.type_key = type_key;
+    std::string slug = util::ReplaceAll(label, " ", "_");
+    slug = util::ReplaceAll(slug, ",", "");
+    e.iri = vocab_.resource_prefix + slug;
+    // Disambiguate IRI collisions (labels deliberately repeat).
+    while (used_iris_.count(e.iri)) {
+      e.iri += "_";
+    }
+    used_iris_.insert(e.iri);
+    kg_.graph.AddIri(e.iri, kRdfsLabel, rdf::StringLiteral(label));
+    kg_.graph.AddIris(e.iri, kRdfType, Class(class_local));
+    return e;
+  }
+
+  void Relate(const EntityInfo& s, const std::string& key,
+              const std::string& pred_local, const EntityInfo& o) {
+    std::string pred = Pred(pred_local);
+    kg_.graph.AddIris(s.iri, pred, o.iri);
+    kg_.predicates[key] = pred;
+    Fact f;
+    f.subject = s;
+    f.relation_key = key;
+    f.predicate_iri = pred;
+    f.object = rdf::Iri(o.iri);
+    f.object_label = o.label;
+    f.object_type_key = o.type_key;
+    kg_.AddFact(std::move(f));
+  }
+
+  void RelateLiteral(const EntityInfo& s, const std::string& key,
+                     const std::string& pred_local, const rdf::Term& lit) {
+    std::string pred = Pred(pred_local);
+    kg_.graph.AddIri(s.iri, pred, lit);
+    kg_.predicates[key] = pred;
+    Fact f;
+    f.subject = s;
+    f.relation_key = key;
+    f.predicate_iri = pred;
+    f.object = lit;
+    f.object_label = lit.value;
+    kg_.AddFact(std::move(f));
+  }
+
+  // Some entities get an abstract sentence mentioning other labels —
+  // realistic full-text noise for the potentialRelevantVertices query.
+  void MaybeAbstract(const EntityInfo& e, const std::string& extra) {
+    if (!rng_.Bernoulli(0.4)) return;
+    std::string text = e.label + " is a " + e.type_key + " related to " +
+                       extra + ".";
+    kg_.graph.AddIri(e.iri, Pred("abstract"), rdf::StringLiteral(text));
+  }
+
+  rdf::Term RandomDate(int lo_year, int hi_year) {
+    int y = static_cast<int>(rng_.UniformInt(lo_year, hi_year));
+    int m = static_cast<int>(rng_.UniformInt(1, 12));
+    int d = static_cast<int>(rng_.UniformInt(1, 28));
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+    return rdf::DateLiteral(buf);
+  }
+
+  void MakeCountries(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      EntityInfo c = NewEntity(names_.CountryName(), "country", "Country");
+      RelateLiteral(c, "currency", "currency",
+                    rdf::StringLiteral(names_.CountryName() + " Franc"));
+      RelateLiteral(c, "language", "officialLanguage",
+                    rdf::StringLiteral(c.label + "n"));
+      RelateLiteral(c, "area", "areaTotal",
+                    rdf::IntLiteral(rng_.UniformInt(10000, 2000000)));
+      countries_.push_back(c);
+    }
+  }
+
+  void MakeCities(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      EntityInfo city = NewEntity(names_.CityName(), "city", "City");
+      const EntityInfo& country = rng_.PickOne(countries_);
+      Relate(city, "country", "country", country);
+      RelateLiteral(city, "population", "populationTotal",
+                    rdf::IntLiteral(rng_.UniformInt(20000, 9000000)));
+      MaybeAbstract(city, country.label);
+      cities_.push_back(city);
+    }
+    // Every country gets a capital among the generated cities.
+    for (size_t i = 0; i < countries_.size(); ++i) {
+      const EntityInfo& cap = cities_[i % cities_.size()];
+      Relate(countries_[i], "capital", "capital", cap);
+    }
+  }
+
+  void MakeUniversities() {
+    // One university per ~4 cities.
+    for (size_t i = 0; i < cities_.size(); i += 4) {
+      EntityInfo u = NewEntity(NamePool::UniversityName(cities_[i].label),
+                               "university", "University");
+      Relate(u, "universityCity", "city", cities_[i]);
+      RelateLiteral(u, "founded", "foundingDate", RandomDate(1400, 1980));
+      universities_.push_back(u);
+    }
+  }
+
+  void MakePersons(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      EntityInfo p = NewEntity(names_.PersonName(), "person", "Person");
+      const EntityInfo& birth_city = rng_.PickOne(cities_);
+      Relate(p, "birthPlace", "birthPlace", birth_city);
+      RelateLiteral(p, "birthDate", "birthDate", RandomDate(1900, 2000));
+      if (rng_.Bernoulli(0.3)) {
+        Relate(p, "deathPlace", "deathPlace", rng_.PickOne(cities_));
+        RelateLiteral(p, "deathDate", "deathDate", RandomDate(1960, 2020));
+      }
+      if (!universities_.empty() && rng_.Bernoulli(0.5)) {
+        Relate(p, "almaMater", "almaMater", rng_.PickOne(universities_));
+      }
+      MaybeAbstract(p, birth_city.label);
+      persons_.push_back(p);
+    }
+    // Spouses: pair up ~40% of persons, both directions (symmetric).
+    for (size_t i = 0; i + 1 < persons_.size(); i += 2) {
+      if (!rng_.Bernoulli(0.4)) continue;
+      Relate(persons_[i], "spouse", "spouse", persons_[i + 1]);
+      Relate(persons_[i + 1], "spouse", "spouse", persons_[i]);
+    }
+    // Mayors: each city gets one.
+    for (const EntityInfo& city : cities_) {
+      Relate(city, "mayor", "mayor", rng_.PickOne(persons_));
+    }
+  }
+
+  void MakeSeasAndStraits(size_t n_seas, size_t n_straits) {
+    for (size_t i = 0; i < n_seas; ++i) {
+      EntityInfo sea = NewEntity(names_.SeaName(), "sea", "Sea");
+      Relate(sea, "nearestCity", "nearestCity", rng_.PickOne(cities_));
+      seas_.push_back(sea);
+    }
+    for (size_t i = 0; i < n_straits; ++i) {
+      EntityInfo strait =
+          NewEntity(names_.SeaName() + " Straits", "strait", "Strait");
+      // dbp-style property (the Fig. 1 predicate is dbp:outflow).
+      std::string pred =
+          flavor_ == KgFlavor::kDbpedia
+              ? "http://dbpedia.org/property/outflow"
+              : Pred("outflow");
+      const EntityInfo& sea = rng_.PickOne(seas_);
+      kg_.graph.AddIris(strait.iri, pred, sea.iri);
+      kg_.predicates["outflow"] = pred;
+      Fact f;
+      f.subject = strait;
+      f.relation_key = "outflow";
+      f.predicate_iri = pred;
+      f.object = rdf::Iri(sea.iri);
+      f.object_label = sea.label;
+      f.object_type_key = "sea";
+      kg_.AddFact(std::move(f));
+    }
+  }
+
+  void MakeRivers(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      EntityInfo r = NewEntity(names_.RiverName(), "river", "River");
+      Relate(r, "riverMouth", "riverMouth", rng_.PickOne(seas_));
+      Relate(r, "crosses", "crosses", rng_.PickOne(cities_));
+      RelateLiteral(r, "length", "length",
+                    rdf::IntLiteral(rng_.UniformInt(50, 6000)));
+    }
+  }
+
+  void MakeMountains(size_t n) {
+    std::vector<EntityInfo> ranges;
+    for (size_t i = 0; i < n / 6 + 1; ++i) {
+      ranges.push_back(NewEntity(names_.RiverName() + " Mountains", "range",
+                                 "MountainRange"));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      EntityInfo m = NewEntity(names_.MountainName(), "mountain", "Mountain");
+      RelateLiteral(m, "elevation", "elevation",
+                    rdf::IntLiteral(rng_.UniformInt(800, 8800)));
+      Relate(m, "mountainRange", "mountainRange", rng_.PickOne(ranges));
+      Relate(m, "locatedIn", "locatedInArea", rng_.PickOne(countries_));
+    }
+  }
+
+  void MakeWorks(size_t n_films, size_t n_books) {
+    for (size_t i = 0; i < n_films; ++i) {
+      EntityInfo f = NewEntity(names_.FilmTitle(), "film", "Film");
+      Relate(f, "director", "director", rng_.PickOne(persons_));
+      size_t n_cast = static_cast<size_t>(rng_.UniformInt(1, 3));
+      for (size_t c = 0; c < n_cast; ++c) {
+        Relate(f, "starring", "starring", rng_.PickOne(persons_));
+      }
+      RelateLiteral(f, "releaseDate", "releaseDate", RandomDate(1930, 2020));
+    }
+    for (size_t i = 0; i < n_books; ++i) {
+      EntityInfo b = NewEntity(names_.BookTitle(), "book", "Book");
+      Relate(b, "author", "author", rng_.PickOne(persons_));
+    }
+  }
+
+  void MakeCompanies(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      EntityInfo c = NewEntity(names_.CompanyName(), "company", "Company");
+      Relate(c, "foundedBy", "foundedBy", rng_.PickOne(persons_));
+      Relate(c, "headquarters", "headquarter", rng_.PickOne(cities_));
+      RelateLiteral(c, "founded", "foundingDate", RandomDate(1850, 2015));
+    }
+  }
+
+  KgFlavor flavor_;
+  GeneralVocab vocab_;
+  util::Rng rng_;
+  NamePool names_;
+  double scale_;
+  BuiltKg kg_;
+  std::set<std::string> used_iris_;
+
+  std::vector<EntityInfo> countries_;
+  std::vector<EntityInfo> cities_;
+  std::vector<EntityInfo> universities_;
+  std::vector<EntityInfo> persons_;
+  std::vector<EntityInfo> seas_;
+};
+
+}  // namespace
+
+BuiltKg BuildGeneralKg(KgFlavor flavor, double scale, uint64_t seed) {
+  GeneralKgBuilder builder(flavor, scale, seed);
+  return builder.Build();
+}
+
+}  // namespace kgqan::benchgen

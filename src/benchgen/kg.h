@@ -1,0 +1,75 @@
+// Synthetic knowledge graphs with the distinguishing properties of the
+// paper's four evaluation KGs (Sec. 7.1.2):
+//  * DBpedia-like / YAGO-like — general facts, human-readable URIs,
+//    rdfs:label descriptions;
+//  * DBLP-like — scholarly facts, key-style URIs (mostly opaque),
+//    dc:title / foaf:name descriptions;
+//  * MAG-like — scholarly facts, fully opaque numeric URIs, foaf:name
+//    descriptions, and an order of magnitude more triples.
+//
+// Besides the RDF graph, a builder returns a fact registry the question
+// generators sample from (so gold SPARQL and gold links are known by
+// construction).
+
+#ifndef KGQAN_BENCHGEN_KG_H_
+#define KGQAN_BENCHGEN_KG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace kgqan::benchgen {
+
+enum class KgFlavor { kDbpedia, kYago, kDblp, kMag, kWikidata };
+
+struct EntityInfo {
+  std::string iri;
+  std::string label;
+  std::string type_key;  // "person", "city", "paper", ...
+};
+
+// One generated fact, with everything a question template needs.
+struct Fact {
+  EntityInfo subject;
+  std::string relation_key;    // Schema-level key, e.g. "spouse".
+  std::string predicate_iri;
+  rdf::Term object;            // IRI term or literal.
+  std::string object_label;    // Entity label, or the literal lexical form.
+  std::string object_type_key; // Type of the object entity ("" = literal).
+};
+
+struct BuiltKg {
+  KgFlavor flavor = KgFlavor::kDbpedia;
+  std::string name;
+  rdf::Graph graph;
+  // relation key -> all facts with that relation.
+  std::unordered_map<std::string, std::vector<Fact>> facts;
+  // relation key -> predicate IRI.
+  std::unordered_map<std::string, std::string> predicates;
+  // entity IRI -> its facts (for multi-fact sampling).
+  std::unordered_map<std::string, std::vector<Fact>> facts_by_subject;
+
+  void AddFact(Fact fact) {
+    facts_by_subject[fact.subject.iri].push_back(fact);
+    facts[fact.relation_key].push_back(std::move(fact));
+  }
+};
+
+// scale = 1.0 gives ~20k triples for general KGs; the MAG builder is
+// ~10-100x larger at the same scale, matching the Table 2 size ratios at
+// 1/10,000 of the paper's absolute sizes.
+BuiltKg BuildGeneralKg(KgFlavor flavor, double scale, uint64_t seed);
+BuiltKg BuildScholarlyKg(KgFlavor flavor, double scale, uint64_t seed);
+
+// Wikidata-style KG: opaque Q-id entity URIs *and* opaque P-id predicate
+// URIs, with all descriptions (including predicate labels) stored as
+// rdfs:label triples in the KG itself — the getPredicateDescription case
+// of Sec. 5.2.
+BuiltKg BuildWikidataStyleKg(double scale, uint64_t seed);
+
+}  // namespace kgqan::benchgen
+
+#endif  // KGQAN_BENCHGEN_KG_H_

@@ -1,0 +1,215 @@
+#include "benchgen/names.h"
+
+#include <array>
+#include <cctype>
+
+namespace kgqan::benchgen {
+
+namespace {
+
+constexpr std::array<const char*, 48> kFirstNames = {
+    "Alice",   "Bruno",  "Clara",  "Daniel", "Elena",   "Felix",
+    "Greta",   "Hugo",   "Irene",  "Jonas",  "Katja",   "Lars",
+    "Mina",    "Nils",   "Olga",   "Pavel",  "Quinn",   "Rosa",
+    "Stefan",  "Tara",   "Ulrich", "Vera",   "Walter",  "Xenia",
+    "Yara",    "Zoltan", "Amara",  "Boris",  "Celine",  "Dmitri",
+    "Esther",  "Farid",  "Gloria", "Henrik", "Ingrid",  "Jamal",
+    "Karim",   "Lena",   "Marco",  "Nadia",  "Otto",    "Petra",
+    "Rashid",  "Sonia",  "Tomas",  "Uma",    "Viktor",  "Wanda"};
+
+constexpr std::array<const char*, 40> kSurnames = {
+    "Almeida",   "Bergmann", "Castillo", "Dorsey",    "Eklund",
+    "Ferrante",  "Glover",   "Hartmann", "Ivanova",   "Jansen",
+    "Kowalski",  "Lindgren", "Moreau",   "Novak",     "Okafor",
+    "Petrov",    "Quiroga",  "Rossi",    "Sandoval",  "Tanaka",
+    "Ulloa",     "Vasquez",  "Weber",    "Xiang",     "Ylvisaker",
+    "Zhang",     "Andrade",  "Bakker",   "Costa",     "Dubois",
+    "Eriksen",   "Fischer",  "Grimaldi", "Haddad",    "Iversen",
+    "Jimenez",   "Keller",   "Larsen",   "Mwangi",    "Nielsen"};
+
+constexpr std::array<const char*, 20> kOnsets = {
+    "v",  "m",  "k",  "t",  "b",  "dr", "gr", "br", "s",  "l",
+    "n",  "p",  "tr", "kl", "fr", "h",  "z",  "d",  "r",  "st"};
+
+constexpr std::array<const char*, 16> kNuclei = {
+    "a",  "e",  "i",  "o",  "u",  "ai", "ei", "ia",
+    "io", "ou", "au", "ea", "oa", "ie", "ui", "ao"};
+
+constexpr std::array<const char*, 14> kCodas = {
+    "",  "n", "r", "l", "s", "th", "rk", "nd", "m", "x", "v", "k", "t",
+    "ss"};
+
+constexpr std::array<const char*, 12> kCityPrefixes = {
+    "North", "South", "East", "West", "New",  "Old",
+    "Port",  "Fort",  "Lake", "Cape", "Saint", "Upper"};
+
+constexpr std::array<const char*, 56> kTopics = {
+    "transaction",  "indexing",      "consensus",     "scheduling",
+    "caching",      "replication",   "compression",   "recovery",
+    "optimization", "learning",      "inference",     "partitioning",
+    "streaming",    "provenance",    "encryption",    "sampling",
+    "verification", "concurrency",   "storage",       "retrieval",
+    "reasoning",    "annotation",    "clustering",    "ranking",
+    "migration",    "serialization", "vectorization", "materialization",
+    "deduplication", "virtualization", "checkpointing", "prefetching",
+    "parsing",      "tokenization",  "embedding",     "quantization",
+    "pruning",      "batching",      "buffering",     "journaling",
+    "sharding",     "balancing",     "routing",       "filtering",
+    "monitoring",   "profiling",     "debugging",     "tracing",
+    "synthesis",    "validation",    "federation",    "integration",
+    "abstraction",  "normalization", "estimation",    "interpolation"};
+
+constexpr std::array<const char*, 10> kAdjectives = {
+    "Scalable", "Adaptive",  "Robust",    "Efficient", "Distributed",
+    "Parallel", "Universal", "Practical", "Formal",    "Incremental"};
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) {
+    s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string NamePool::Syllabic(int min_syl, int max_syl) {
+  int n = static_cast<int>(rng_->UniformInt(min_syl, max_syl));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out += kOnsets[rng_->Next() % kOnsets.size()];
+    out += kNuclei[rng_->Next() % kNuclei.size()];
+  }
+  out += kCodas[rng_->Next() % kCodas.size()];
+  return Capitalize(out);
+}
+
+std::string NamePool::PersonName() {
+  std::string first = kFirstNames[rng_->Next() % kFirstNames.size()];
+  last_surname_ = kSurnames[rng_->Next() % kSurnames.size()];
+  return first + " " + last_surname_;
+}
+
+std::string NamePool::ScholarName() {
+  std::string first = kFirstNames[rng_->Next() % kFirstNames.size()];
+  last_surname_ = kSurnames[rng_->Next() % kSurnames.size()];
+  std::string initial(1, static_cast<char>('A' + rng_->Next() % 26));
+  return first + " " + initial + ". " + last_surname_;
+}
+
+std::string NamePool::CityName() {
+  std::string base = Syllabic(2, 3);
+  if (rng_->Bernoulli(0.25)) {
+    return std::string(kCityPrefixes[rng_->Next() % kCityPrefixes.size()]) +
+           " " + base;
+  }
+  return base;
+}
+
+std::string NamePool::CountryName() {
+  std::string base = Syllabic(2, 3);
+  if (rng_->Bernoulli(0.2)) return base + "ia";
+  return base;
+}
+
+std::string NamePool::SeaName() {
+  std::string base = Syllabic(1, 2);
+  if (rng_->Bernoulli(0.3)) return "Gulf of " + base;
+  return base + " Sea";
+}
+
+std::string NamePool::RiverName() { return Syllabic(2, 3); }
+
+std::string NamePool::MountainName() { return "Mount " + Syllabic(1, 2); }
+
+std::string NamePool::UniversityName(const std::string& city) {
+  return "University of " + city;
+}
+
+std::string NamePool::CompanyName() {
+  std::string base = Syllabic(2, 3);
+  switch (rng_->Next() % 3) {
+    case 0:
+      return base + " Corporation";
+    case 1:
+      return base + " Systems";
+    default:
+      return base + " Industries";
+  }
+}
+
+std::string NamePool::FilmTitle() {
+  switch (rng_->Next() % 3) {
+    case 0:
+      return "The " + Syllabic(2, 3);
+    case 1:
+      return Syllabic(2, 3) + " Rising";
+    default:
+      return "Return to " + Syllabic(2, 3);
+  }
+}
+
+std::string NamePool::BookTitle() {
+  switch (rng_->Next() % 3) {
+    case 0:
+      return "The " + Syllabic(2, 3) + " Chronicles";
+    case 1:
+      return "A Tale of " + Syllabic(2, 3);
+    default:
+      return Syllabic(2, 3) + " and " + Syllabic(2, 3);
+  }
+}
+
+std::string NamePool::PaperTitle() {
+  std::string t1 = Capitalize(kTopics[rng_->Next() % kTopics.size()]);
+  std::string t2 = Capitalize(kTopics[rng_->Next() % kTopics.size()]);
+  std::string t3 = Capitalize(kTopics[rng_->Next() % kTopics.size()]);
+  std::string adj = kAdjectives[rng_->Next() % kAdjectives.size()];
+  std::string adj2 = kAdjectives[rng_->Next() % kAdjectives.size()];
+  // Mostly long titles (real paper titles average 8+ words); a small
+  // fraction are short.
+  switch (rng_->Next() % 8) {
+    case 0:
+      return "On the " + t1 + " of " + t2;  // Short (2 content words).
+    case 1:
+      return t1 + "-Aware " + t2;  // Short.
+    case 2:
+      return adj + " " + t1 + " for " + adj2 + " " + t2 + " Systems";
+    case 3:
+      return "A Survey of " + t1 + " and " + t2 + " Techniques for " + t3;
+    case 4:
+      return adj + " and " + adj2 + " " + t1 + " in Modern " + t2 +
+             " Engines";
+    case 5:
+      return "Towards " + adj + " " + t1 + ": " + t2 + " Meets " + t3;
+    case 6:
+      return "Rethinking " + t1 + " for " + t2 + " at Scale";
+    default:
+      return adj + " " + t1 + " with " + t2 + " Guarantees";
+  }
+}
+
+std::string NamePool::VenueAcronym() {
+  // 4-6 uppercase letters, unique-ish.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::string acro;
+    int len = static_cast<int>(rng_->UniformInt(4, 6));
+    for (int i = 0; i < len; ++i) {
+      acro += static_cast<char>('A' + rng_->Next() % 26);
+    }
+    bool used = false;
+    for (const std::string& u : used_acronyms_) {
+      if (u == acro) used = true;
+    }
+    if (!used) {
+      used_acronyms_.push_back(acro);
+      return acro;
+    }
+  }
+  return "VENUE" + std::to_string(used_acronyms_.size());
+}
+
+std::string NamePool::FieldOfStudy() {
+  return Capitalize(kTopics[rng_->Next() % kTopics.size()]);
+}
+
+}  // namespace kgqan::benchgen

@@ -1,0 +1,64 @@
+// Deterministic name generation for the synthetic knowledge graphs:
+// person, place, institution and work-title pools built from curated seed
+// lists plus syllabic composition, with deliberate token overlap between
+// some entities (the label ambiguity a real linker has to survive).
+
+#ifndef KGQAN_BENCHGEN_NAMES_H_
+#define KGQAN_BENCHGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgqan::benchgen {
+
+class NamePool {
+ public:
+  explicit NamePool(util::Rng* rng) : rng_(rng) {}
+
+  // "Fn Ln" person names; surnames repeat across persons (ambiguity).
+  std::string PersonName();
+
+  // "Fn M. Ln" scholar names (middle initials keep large author sets from
+  // collapsing into full-name collisions).
+  std::string ScholarName();
+
+  // City / town names ("Veltara", "North Veltara", "Port Miren").
+  std::string CityName();
+
+  std::string CountryName();
+
+  // "<X> Sea" / "Gulf of <X>".
+  std::string SeaName();
+  std::string RiverName();
+  std::string MountainName();
+
+  // "University of <city>" given an existing city name.
+  static std::string UniversityName(const std::string& city);
+
+  std::string CompanyName();
+  std::string FilmTitle();
+  std::string BookTitle();
+
+  // Scholarly: paper titles built from a CS topic vocabulary (topics
+  // repeat across papers, so titles share tokens), venue names with
+  // acronyms, institution names.
+  std::string PaperTitle();
+  std::string VenueAcronym();
+  std::string FieldOfStudy();
+
+  // Last generated person name parts (for building DBLP-style URIs).
+  const std::string& last_surname() const { return last_surname_; }
+
+ private:
+  std::string Syllabic(int min_syl, int max_syl);
+
+  util::Rng* rng_;
+  std::string last_surname_;
+  std::vector<std::string> used_acronyms_;
+};
+
+}  // namespace kgqan::benchgen
+
+#endif  // KGQAN_BENCHGEN_NAMES_H_

@@ -1,0 +1,117 @@
+// Benchmark question generation: samples facts from a BuiltKg and renders
+// them as natural-language questions with gold SPARQL, gold entity /
+// relation links (for the Figure 9 experiment) and the Table 5 taxonomy
+// labels (SPARQL shape x linguistic class).
+//
+// Question *styles* reproduce how the paper's five benchmarks differ:
+//  * kHandWritten (QALD-9-like)  — varied phrasings incl. paraphrases that
+//    only a generalizing QU model parses;
+//  * kTemplated  (LC-QuAD-like)  — verbose machine templates ("Name the X
+//    into which ...", "Give me all X whose ...");
+//  * kSimple     (YAGO-Bench)    — clean QALD-style questions, little
+//    paraphrasing (the student-written questions of Sec. 7.1.3);
+//  * kScholarly  (DBLP-/MAG-Bench) — paper/author questions with long
+//    quoted titles.
+
+#ifndef KGQAN_BENCHGEN_QUESTION_GEN_H_
+#define KGQAN_BENCHGEN_QUESTION_GEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchgen/kg.h"
+#include "rdf/term.h"
+#include "util/rng.h"
+
+namespace kgqan::benchgen {
+
+enum class QueryShape { kStar, kPath };
+enum class LingClass { kSingleFact, kFactWithType, kMultiFact, kBoolean };
+
+const char* QueryShapeName(QueryShape shape);
+const char* LingClassName(LingClass cls);
+
+enum class QuestionStyle { kHandWritten, kTemplated, kSimple, kScholarly };
+
+// Gold (phrase -> URI) annotation for the linking experiment.
+struct GoldLink {
+  std::string phrase;
+  std::string iri;
+  bool is_relation = false;
+};
+
+struct BenchQuestion {
+  std::string text;
+  std::string gold_sparql;  // SELECT for non-boolean, ASK for boolean.
+  bool is_boolean = false;
+  bool gold_boolean = false;
+  std::vector<rdf::Term> gold_answers;  // Filled by the benchmark builder.
+  QueryShape shape = QueryShape::kStar;
+  LingClass ling = LingClass::kSingleFact;
+  std::vector<GoldLink> gold_links;
+};
+
+// How many questions of each (shape, class) combination to generate.
+struct QuestionMix {
+  size_t single_star = 0;
+  size_t single_path = 0;
+  size_t type_star = 0;
+  size_t multi_star = 0;
+  size_t multi_path = 0;
+  size_t boolean_star = 0;
+
+  size_t Total() const {
+    return single_star + single_path + type_star + multi_star + multi_path +
+           boolean_star;
+  }
+};
+
+class QuestionGenerator {
+ public:
+  QuestionGenerator(const BuiltKg* kg, QuestionStyle style, uint64_t seed)
+      : kg_(kg), style_(style), rng_(seed) {}
+
+  // Generates mix.Total() questions (best effort: a sampler may come up
+  // short if the KG lacks suitable facts, which the tests guard against).
+  std::vector<BenchQuestion> Generate(const QuestionMix& mix);
+
+ private:
+  bool Scholarly() const {
+    return kg_->flavor == KgFlavor::kDblp || kg_->flavor == KgFlavor::kMag;
+  }
+  const Fact* SampleFact(const std::string& key);
+  // Like SampleFact, but without the preference for distinctive paper
+  // titles (used by path questions).
+  const Fact* SampleFactAnyTitle(const std::string& key);
+  // A second fact about the same subject with a different relation.
+  const Fact* CompanionFact(const Fact& first);
+
+  std::optional<BenchQuestion> SingleFact(QueryShape shape);
+  std::optional<BenchQuestion> FactWithType();
+  std::optional<BenchQuestion> MultiFact(QueryShape shape);
+  std::optional<BenchQuestion> Boolean();
+
+  // Out-of-scope questions (superlatives, counts): present in the real
+  // benchmarks, unanswerable by plain BGP queries — the gold answers are
+  // computed directly from the fact registry.  Their rate per style is
+  // what makes the hand-written benchmarks "more challenging" (Sec. 7.2.2).
+  std::optional<BenchQuestion> HardQuestion();
+  // Comparative questions ("Which city has a larger population, A or B?"),
+  // also out of BGP scope; injected into the type / multi-fact classes.
+  std::optional<BenchQuestion> Comparative(LingClass cls);
+  double HardRate() const;
+
+  // Style-dependent surface realization helpers.
+  std::string MaybeParaphrase(std::string canonical,
+                              const std::string& alt);
+  bool UseParaphrase();
+
+  const BuiltKg* kg_;
+  QuestionStyle style_;
+  util::Rng rng_;
+};
+
+}  // namespace kgqan::benchgen
+
+#endif  // KGQAN_BENCHGEN_QUESTION_GEN_H_

@@ -1,0 +1,226 @@
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "benchgen/kg.h"
+#include "benchgen/names.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgqan::benchgen {
+
+namespace {
+
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr const char* kFoafName = "http://xmlns.com/foaf/0.1/name";
+constexpr const char* kDcTitle = "http://purl.org/dc/terms/title";
+constexpr const char* kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+
+// DBLP-like: key-style URIs, dc:title for papers, foaf:name for people;
+// MAG-like: opaque numeric URIs throughout, foaf:name everywhere.
+class ScholarlyKgBuilder {
+ public:
+  ScholarlyKgBuilder(KgFlavor flavor, double scale, uint64_t seed)
+      : flavor_(flavor), rng_(seed), names_(&rng_), scale_(scale) {
+    kg_.flavor = flavor;
+    kg_.name = flavor == KgFlavor::kMag ? "MAG" : "DBLP";
+  }
+
+  BuiltKg Build() {
+    const bool mag = flavor_ == KgFlavor::kMag;
+    // Table 2 ratios at 1/10,000 of the paper's absolute sizes: the
+    // MAG-like KG is ~2 orders of magnitude bigger than the DBLP-like one.
+    const size_t n_authors = Scaled(mag ? 26000 : 700);
+    const size_t n_papers = Scaled(mag ? 130000 : 1500);
+    const size_t n_venues = Scaled(mag ? 300 : 40);
+    const size_t n_institutions = Scaled(mag ? 600 : 60);
+    const size_t n_fields = mag ? 26 : 0;
+
+    MakeInstitutions(n_institutions);
+    MakeVenues(n_venues);
+    MakeFields(n_fields);
+    MakeAuthors(n_authors);
+    MakePapers(n_papers);
+    return std::move(kg_);
+  }
+
+ private:
+  size_t Scaled(size_t base) {
+    size_t n = static_cast<size_t>(double(base) * scale_);
+    return n < 2 ? 2 : n;
+  }
+
+  std::string Pred(const std::string& local) {
+    return flavor_ == KgFlavor::kMag
+               ? "http://ma-graph.org/property/" + local
+               : "https://dblp.org/rdf/schema#" + local;
+  }
+
+  // Entity URI: MAG = opaque 10-digit code; DBLP = mostly numeric pid /
+  // rec keys (a small fraction of author keys embed the surname, which is
+  // what lets a URI-text index answer a couple of questions).
+  std::string NewIri(const std::string& kind, const std::string& hint) {
+    if (flavor_ == KgFlavor::kMag) {
+      return "https://makg.org/entity/" +
+             std::to_string(2000000000ULL + (rng_.Next() % 999999999ULL));
+    }
+    if (kind == "author") {
+      // ~10% of DBLP author keys embed the author's name ("pid/g/AliceWeber"),
+      // which is what lets a URI-text index link a couple of questions.
+      if (rng_.Bernoulli(0.1) && !hint.empty()) {
+        return "https://dblp.org/pid/" +
+               std::string(1, static_cast<char>('a' + rng_.Next() % 26)) +
+               "/" + util::ReplaceAll(hint, " ", "");
+      }
+      return "https://dblp.org/pid/" +
+             std::to_string(10 + rng_.Next() % 90) + "/" +
+             std::to_string(1000 + rng_.Next() % 9000);
+    }
+    if (kind == "paper") {
+      return "https://dblp.org/rec/conf/" + util::ToLower(hint) + "/" +
+             std::to_string(100000 + rng_.Next() % 900000);
+    }
+    if (kind == "venue") {
+      return "https://dblp.org/streams/conf/" + util::ToLower(hint);
+    }
+    return "https://dblp.org/entity/" + std::to_string(rng_.Next() % 1000000);
+  }
+
+  EntityInfo NewEntity(const std::string& kind, const std::string& label,
+                       const std::string& class_local,
+                       const std::string& hint) {
+    EntityInfo e;
+    e.label = label;
+    e.type_key = kind;
+    e.iri = NewIri(kind, hint);
+    while (used_iris_.count(e.iri)) e.iri += "x";
+    used_iris_.insert(e.iri);
+    // Descriptions: dc:title for DBLP papers, foaf:name otherwise — the
+    // "arbitrary predicate" variety of Sec. 5.1.
+    const char* desc_pred =
+        (flavor_ == KgFlavor::kDblp && kind == "paper") ? kDcTitle
+                                                        : kFoafName;
+    kg_.graph.AddIri(e.iri, desc_pred, rdf::StringLiteral(label));
+    std::string class_prefix = flavor_ == KgFlavor::kMag
+                                   ? "http://ma-graph.org/class/"
+                                   : "https://dblp.org/rdf/schema#";
+    kg_.graph.AddIris(e.iri, kRdfType, class_prefix + class_local);
+    return e;
+  }
+
+  void Relate(const EntityInfo& s, const std::string& key,
+              const std::string& pred_local, const EntityInfo& o) {
+    std::string pred = Pred(pred_local);
+    kg_.graph.AddIris(s.iri, pred, o.iri);
+    kg_.predicates[key] = pred;
+    Fact f;
+    f.subject = s;
+    f.relation_key = key;
+    f.predicate_iri = pred;
+    f.object = rdf::Iri(o.iri);
+    f.object_label = o.label;
+    f.object_type_key = o.type_key;
+    kg_.AddFact(std::move(f));
+  }
+
+  void RelateLiteral(const EntityInfo& s, const std::string& key,
+                     const std::string& pred_local, const rdf::Term& lit) {
+    std::string pred = Pred(pred_local);
+    kg_.graph.AddIri(s.iri, pred, lit);
+    kg_.predicates[key] = pred;
+    Fact f;
+    f.subject = s;
+    f.relation_key = key;
+    f.predicate_iri = pred;
+    f.object = lit;
+    f.object_label = lit.value;
+    kg_.AddFact(std::move(f));
+  }
+
+  void MakeInstitutions(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      institutions_.push_back(NewEntity(
+          "institution", NamePool::UniversityName(names_.CityName()),
+          "Institution", ""));
+    }
+  }
+
+  void MakeVenues(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      std::string acro = names_.VenueAcronym();
+      venues_.push_back(NewEntity("venue", acro, "Venue", acro));
+      venue_hint_.push_back(acro);
+    }
+  }
+
+  void MakeFields(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      fields_.push_back(
+          NewEntity("field", names_.FieldOfStudy(), "FieldOfStudy", ""));
+    }
+  }
+
+  void MakeAuthors(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      std::string name = names_.ScholarName();
+      EntityInfo a = NewEntity("author", name,
+                               flavor_ == KgFlavor::kMag ? "Author"
+                                                         : "Person",
+                               name);
+      Relate(a, "affiliation", "memberOf", rng_.PickOne(institutions_));
+      authors_.push_back(a);
+    }
+  }
+
+  void MakePapers(size_t n) {
+    const bool mag = flavor_ == KgFlavor::kMag;
+    for (size_t i = 0; i < n; ++i) {
+      size_t venue_idx = rng_.Next() % venues_.size();
+      EntityInfo p = NewEntity("paper", names_.PaperTitle(),
+                               mag ? "Paper" : "Publication",
+                               venue_hint_[venue_idx]);
+      size_t n_auth = static_cast<size_t>(rng_.UniformInt(1, 3));
+      for (size_t a = 0; a < n_auth; ++a) {
+        Relate(p, "author", mag ? "creator" : "authoredBy",
+               rng_.PickOne(authors_));
+      }
+      Relate(p, "venue", mag ? "appearsInConferenceSeries" : "publishedIn",
+             venues_[venue_idx]);
+      RelateLiteral(p, "year", "yearOfPublication",
+                    rdf::IntLiteral(rng_.UniformInt(1975, 2022)));
+      if (mag) {
+        RelateLiteral(p, "citations", "citationCount",
+                      rdf::IntLiteral(rng_.UniformInt(0, 4000)));
+        Relate(p, "field", "fieldOfStudy", rng_.PickOne(fields_));
+      } else {
+        RelateLiteral(p, "pages", "pageCount",
+                      rdf::IntLiteral(rng_.UniformInt(6, 24)));
+      }
+    }
+  }
+
+  KgFlavor flavor_;
+  util::Rng rng_;
+  NamePool names_;
+  double scale_;
+  BuiltKg kg_;
+  std::set<std::string> used_iris_;
+
+  std::vector<EntityInfo> institutions_;
+  std::vector<EntityInfo> venues_;
+  std::vector<std::string> venue_hint_;
+  std::vector<EntityInfo> fields_;
+  std::vector<EntityInfo> authors_;
+};
+
+}  // namespace
+
+BuiltKg BuildScholarlyKg(KgFlavor flavor, double scale, uint64_t seed) {
+  ScholarlyKgBuilder builder(flavor, scale, seed);
+  return builder.Build();
+}
+
+}  // namespace kgqan::benchgen

@@ -1,0 +1,164 @@
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "benchgen/kg.h"
+#include "benchgen/names.h"
+#include "util/rng.h"
+
+namespace kgqan::benchgen {
+
+namespace {
+
+constexpr const char* kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+// Wikidata-style: entities are Q-ids, predicates are P-ids — *both*
+// opaque.  Entity descriptions come from rdfs:label; predicate
+// descriptions must themselves be fetched from the KG, which is exactly
+// the isHumanReadable fallback of Algorithm 2 (the paper's wdg:P227
+// example).
+class WikidataKgBuilder {
+ public:
+  WikidataKgBuilder(double scale, uint64_t seed)
+      : rng_(seed), names_(&rng_), scale_(scale) {
+    kg_.flavor = KgFlavor::kWikidata;
+    kg_.name = "Wikidata";
+  }
+
+  BuiltKg Build() {
+    // Property registry: P-id -> English label (a small slice of the real
+    // Wikidata property numbering).
+    DefineProperty("P26", "spouse", "spouse");
+    DefineProperty("P19", "place of birth", "birthPlace");
+    DefineProperty("P569", "date of birth", "birthDate");
+    DefineProperty("P36", "capital", "capital");
+    DefineProperty("P17", "country", "country");
+    DefineProperty("P1082", "population", "population");
+    DefineProperty("P6", "head of government", "mayor");
+
+    const size_t n_countries = Scaled(20);
+    const size_t n_cities = Scaled(80);
+    const size_t n_persons = Scaled(200);
+
+    for (size_t i = 0; i < n_countries; ++i) {
+      countries_.push_back(NewEntity(names_.CountryName(), "country"));
+    }
+    for (size_t i = 0; i < n_cities; ++i) {
+      EntityInfo city = NewEntity(names_.CityName(), "city");
+      Relate(city, "country", rng_.PickOne(countries_));
+      RelateLiteral(city, "population",
+                    rdf::IntLiteral(rng_.UniformInt(10000, 5000000)));
+      cities_.push_back(city);
+    }
+    for (size_t i = 0; i < countries_.size(); ++i) {
+      Relate(countries_[i], "capital", cities_[i % cities_.size()]);
+    }
+    for (size_t i = 0; i < n_persons; ++i) {
+      EntityInfo person = NewEntity(names_.PersonName(), "person");
+      Relate(person, "birthPlace", rng_.PickOne(cities_));
+      int y = static_cast<int>(rng_.UniformInt(1900, 2000));
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-01-15", y);
+      RelateLiteral(person, "birthDate", rdf::DateLiteral(buf));
+      persons_.push_back(person);
+    }
+    for (size_t i = 0; i + 1 < persons_.size(); i += 2) {
+      if (!rng_.Bernoulli(0.4)) continue;
+      Relate(persons_[i], "spouse", persons_[i + 1]);
+      Relate(persons_[i + 1], "spouse", persons_[i]);
+    }
+    for (const EntityInfo& city : cities_) {
+      Relate(city, "mayor", rng_.PickOne(persons_));
+    }
+    return std::move(kg_);
+  }
+
+ private:
+  size_t Scaled(size_t base) {
+    size_t n = static_cast<size_t>(double(base) * scale_);
+    return n < 2 ? 2 : n;
+  }
+
+  void DefineProperty(const std::string& pid, const std::string& label,
+                      const std::string& key) {
+    std::string iri = "http://www.wikidata.org/prop/direct/" + pid;
+    kg_.predicates[key] = iri;
+    // The predicate's description lives in the KG itself.
+    kg_.graph.AddIri(iri, kRdfsLabel, rdf::StringLiteral(label));
+  }
+
+  EntityInfo NewEntity(const std::string& label,
+                       const std::string& type_key) {
+    EntityInfo e;
+    e.label = label;
+    e.type_key = type_key;
+    e.iri = "http://www.wikidata.org/entity/Q" +
+            std::to_string(1000 + (rng_.Next() % 9000000));
+    while (used_iris_.count(e.iri)) e.iri += "0";
+    used_iris_.insert(e.iri);
+    kg_.graph.AddIri(e.iri, kRdfsLabel, rdf::StringLiteral(label));
+    // Class Q-ids as in Wikidata (human Q5, city Q515, country Q6256),
+    // each carrying its own rdfs:label.
+    std::string class_qid = type_key == "person" ? "Q5"
+                            : type_key == "city" ? "Q515"
+                                                 : "Q6256";
+    std::string class_iri = "http://www.wikidata.org/entity/" + class_qid;
+    kg_.graph.AddIris(e.iri, kRdfType, class_iri);
+    if (!class_labelled_.count(class_qid)) {
+      class_labelled_.insert(class_qid);
+      kg_.graph.AddIri(class_iri, kRdfsLabel,
+                       rdf::StringLiteral(type_key == "person" ? "human"
+                                                               : type_key));
+    }
+    return e;
+  }
+
+  void Relate(const EntityInfo& s, const std::string& key,
+              const EntityInfo& o) {
+    const std::string& pred = kg_.predicates.at(key);
+    kg_.graph.AddIris(s.iri, pred, o.iri);
+    Fact f;
+    f.subject = s;
+    f.relation_key = key;
+    f.predicate_iri = pred;
+    f.object = rdf::Iri(o.iri);
+    f.object_label = o.label;
+    f.object_type_key = o.type_key;
+    kg_.AddFact(std::move(f));
+  }
+
+  void RelateLiteral(const EntityInfo& s, const std::string& key,
+                     const rdf::Term& lit) {
+    const std::string& pred = kg_.predicates.at(key);
+    kg_.graph.AddIri(s.iri, pred, lit);
+    Fact f;
+    f.subject = s;
+    f.relation_key = key;
+    f.predicate_iri = pred;
+    f.object = lit;
+    f.object_label = lit.value;
+    kg_.AddFact(std::move(f));
+  }
+
+  util::Rng rng_;
+  NamePool names_;
+  double scale_;
+  BuiltKg kg_;
+  std::set<std::string> used_iris_;
+  std::set<std::string> class_labelled_;
+  std::vector<EntityInfo> countries_;
+  std::vector<EntityInfo> cities_;
+  std::vector<EntityInfo> persons_;
+};
+
+}  // namespace
+
+BuiltKg BuildWikidataStyleKg(double scale, uint64_t seed) {
+  WikidataKgBuilder builder(scale, seed);
+  return builder.Build();
+}
+
+}  // namespace kgqan::benchgen

@@ -1,0 +1,46 @@
+// Annotated Graph Pattern (Def. 5.3): the PGP with each node annotated by
+// its relevant vertices (Def. 5.1) and each edge by its relevant
+// predicates (Def. 5.2) from the target KG.
+
+#ifndef KGQAN_CORE_AGP_H_
+#define KGQAN_CORE_AGP_H_
+
+#include <string>
+#include <vector>
+
+#include "qu/pgp.h"
+#include "rdf/term.h"
+
+namespace kgqan::core {
+
+// A KG vertex relevant to a PGP node, with its semantic affinity score.
+struct RelevantVertex {
+  std::string iri;
+  double score = 0.0;
+};
+
+// A KG predicate relevant to a PGP edge: the tuple <p, S(l_r, d_p), v, o>
+// of Def. 5.2.  `anchor_iri` is the relevant vertex the predicate was
+// discovered from, `anchor_node` the PGP node that vertex annotates, and
+// `vertex_is_object` the o flag (true: the anchor vertex occurred as the
+// object of the predicate).
+struct RelevantPredicate {
+  std::string iri;
+  double score = 0.0;
+  std::string anchor_iri;
+  size_t anchor_node = 0;
+  bool vertex_is_object = false;
+};
+
+struct Agp {
+  qu::Pgp pgp;
+  // Parallel to pgp.nodes(): relevant vertices per node (empty for
+  // unknowns).
+  std::vector<std::vector<RelevantVertex>> node_vertices;
+  // Parallel to pgp.edges(): relevant predicates per edge.
+  std::vector<std::vector<RelevantPredicate>> edge_predicates;
+};
+
+}  // namespace kgqan::core
+
+#endif  // KGQAN_CORE_AGP_H_

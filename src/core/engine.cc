@@ -1,0 +1,186 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace kgqan::core {
+
+std::string Explain(const KgqanResult& result) {
+  std::string out;
+  out += "understood:  ";
+  out += result.response.understood ? "yes" : "no";
+  out += "\n";
+  if (!result.response.understood) return out;
+  out += "PGP:         " + result.pgp.DebugString() + "\n";
+  out += "answer type: ";
+  out += nlp::AnswerDataTypeName(result.answer_type.data_type);
+  if (!result.answer_type.semantic_type.empty()) {
+    out += " (" + result.answer_type.semantic_type + ")";
+  }
+  out += "\n";
+  for (size_t n = 0; n < result.agp.node_vertices.size(); ++n) {
+    const auto& vertices = result.agp.node_vertices[n];
+    if (vertices.empty()) continue;
+    out += "node \"" + result.pgp.nodes()[n].label + "\":\n";
+    size_t shown = 0;
+    for (const RelevantVertex& rv : vertices) {
+      if (shown++ >= 3) break;
+      out += "  <" + rv.iri + ">  " + util::FormatDouble(rv.score, 2) + "\n";
+    }
+  }
+  for (size_t e = 0; e < result.agp.edge_predicates.size(); ++e) {
+    const auto& preds = result.agp.edge_predicates[e];
+    if (preds.empty()) continue;
+    out += "edge \"" + result.pgp.edges()[e].label + "\":\n";
+    size_t shown = 0;
+    for (const RelevantPredicate& rp : preds) {
+      if (shown++ >= 3) break;
+      out += "  <" + rp.iri + ">  " + util::FormatDouble(rp.score, 2) + "\n";
+    }
+  }
+  out += "queries:     " + std::to_string(result.queries_executed) + " of " +
+         std::to_string(result.queries_generated) + " executed\n";
+  if (result.response.is_boolean) {
+    out += std::string("answer:      ") +
+           (result.response.boolean_answer ? "true" : "false") + "\n";
+  } else {
+    for (const rdf::Term& a : result.response.answers) {
+      out += "answer:      " + rdf::ToNTriples(a) + "\n";
+    }
+    if (result.response.answers.empty()) out += "answer:      (none)\n";
+  }
+  return out;
+}
+
+KgqanEngine::KgqanEngine(const KgqanConfig& config)
+    : config_(config),
+      generator_(config.qu),
+      affinity_(std::make_unique<embed::SemanticAffinity>(
+          config.affinity_mode)),
+      linker_(&config_, affinity_.get()),
+      bgp_generator_(&config_),
+      filtration_(&config_, affinity_.get()) {}
+
+KgqanResult KgqanEngine::AnswerFull(const std::string& question,
+                                    sparql::Endpoint& endpoint) const {
+  KgqanResult result;
+  util::Stopwatch watch;
+
+  // ---- Phase 1: question understanding (KG-independent). ----
+  qu::TriplePatterns triples = generator_.Extract(question);
+  result.answer_type = answer_type_classifier_.Predict(question);
+  result.pgp = qu::Pgp::Build(triples);
+  result.response.timings.qu_ms = watch.ElapsedMillis();
+  if (triples.empty()) {
+    result.response.understood = false;
+    return result;
+  }
+  result.response.understood = true;
+  result.response.is_boolean = result.pgp.IsBoolean();
+
+  // ---- Phase 2: JIT linking against the target KG. ----
+  watch.Restart();
+  result.agp = linker_.Link(result.pgp, endpoint);
+  result.response.timings.linking_ms = watch.ElapsedMillis();
+
+  // ---- Phase 3: execution and filtration. ----
+  watch.Restart();
+  std::vector<Bgp> bgps = bgp_generator_.Generate(result.agp);
+  result.queries_generated = bgps.size();
+
+  if (result.response.is_boolean) {
+    // ASK semantics: the question holds if any of the ranked candidate
+    // queries holds in the KG.
+    bool value = false;
+    for (const Bgp& bgp : bgps) {
+      ++result.queries_executed;
+      auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
+      if (rs.ok() && rs->is_ask() && rs->ask_value()) {
+        value = true;
+        break;
+      }
+    }
+    result.response.boolean_answer = value;
+    result.response.timings.execution_ms = watch.ElapsedMillis();
+    return result;
+  }
+
+  auto main_unknown = result.pgp.MainUnknown();
+  if (!main_unknown.has_value()) {
+    result.response.timings.execution_ms = watch.ElapsedMillis();
+    return result;
+  }
+  std::string var =
+      "u" + std::to_string(result.pgp.nodes()[*main_unknown].var_id);
+
+  size_t productive_queries = 0;
+  double base_score = -1.0;
+  for (const Bgp& bgp : bgps) {
+    // Once an answer set exists, only near-equivalent queries (semantic
+    // score within the gap) can extend it.
+    if (base_score >= 0.0 && bgp.score < config_.score_gap * base_score) {
+      break;
+    }
+    ++result.queries_executed;
+    auto rs = endpoint.Query(BgpGenerator::ToSelectSparql(bgp, var));
+    if (!rs.ok() || rs->NumRows() == 0) continue;
+
+    // Group rows into (answer, class list) candidates.
+    auto a_col = rs->ColumnIndex(var);
+    auto c_col = rs->ColumnIndex("c");
+    if (!a_col.has_value()) continue;
+    std::map<std::string, CandidateAnswer> grouped;
+    std::vector<std::string> order;
+    for (size_t r = 0; r < rs->NumRows(); ++r) {
+      const auto& a = rs->At(r, *a_col);
+      if (!a.has_value()) continue;
+      std::string key = rdf::ToNTriples(*a);
+      auto [it, inserted] = grouped.emplace(key, CandidateAnswer{*a, {}});
+      if (inserted) order.push_back(key);
+      if (c_col.has_value()) {
+        const auto& c = rs->At(r, *c_col);
+        if (c.has_value() && c->IsIri()) {
+          it->second.class_iris.push_back(c->value);
+        }
+      }
+    }
+    std::vector<CandidateAnswer> candidates;
+    candidates.reserve(order.size());
+    for (const std::string& key : order) {
+      candidates.push_back(grouped.at(key));
+    }
+
+    std::vector<rdf::Term> answers =
+        config_.enable_filtration
+            ? filtration_.Filter(candidates, result.answer_type)
+            : [&] {
+                std::vector<rdf::Term> all;
+                for (const CandidateAnswer& c : candidates) {
+                  all.push_back(c.term);
+                }
+                return all;
+              }();
+    if (answers.empty()) continue;  // Filtered away: try the next query.
+    // Union into the running answer set.
+    for (rdf::Term& term : answers) {
+      bool dup = false;
+      for (const rdf::Term& have : result.response.answers) {
+        if (have == term) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) result.response.answers.push_back(std::move(term));
+    }
+    ++productive_queries;
+    if (base_score < 0.0) base_score = bgp.score;
+    if (productive_queries >= config_.max_productive_queries) break;
+  }
+  result.response.timings.execution_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace kgqan::core

@@ -1,0 +1,83 @@
+// KgqanEngine: the end-to-end universal question-answering pipeline
+// (Figure 4) — question understanding, JIT linking, execution and
+// filtration — against an arbitrary SPARQL endpoint, with no per-KG
+// pre-processing.
+
+#ifndef KGQAN_CORE_ENGINE_H_
+#define KGQAN_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agp.h"
+#include "core/bgp.h"
+#include "core/config.h"
+#include "core/filtration.h"
+#include "core/linker.h"
+#include "core/qa_interface.h"
+#include "embedding/affinity.h"
+#include "nlp/answer_type.h"
+#include "qu/pgp.h"
+#include "qu/triple_pattern_generator.h"
+#include "sparql/endpoint.h"
+
+namespace kgqan::core {
+
+// Full per-question result, including the intermediate artifacts the
+// analysis experiments inspect.
+struct KgqanResult {
+  QaResponse response;
+  qu::Pgp pgp;
+  nlp::AnswerTypePrediction answer_type;
+  Agp agp;                    // Annotated graph (after linking).
+  size_t queries_generated = 0;
+  size_t queries_executed = 0;
+};
+
+// Renders a human-readable trace of the pipeline for `result`: the PGP,
+// the predicted answer type, the top link annotations per node/edge, and
+// the answers.  Used by the CLI's verbose mode and handy when debugging a
+// misanswered question.
+std::string Explain(const KgqanResult& result);
+
+class KgqanEngine : public QaSystem {
+ public:
+  KgqanEngine() : KgqanEngine(KgqanConfig()) {}
+  explicit KgqanEngine(const KgqanConfig& config);
+
+  std::string name() const override { return "KGQAn"; }
+
+  // KGQAn is on-demand: no pre-processing at all (its zero cost *is* the
+  // Table 2 result).
+  PreprocessStats Preprocess(sparql::Endpoint& endpoint) override {
+    (void)endpoint;
+    return PreprocessStats{};
+  }
+
+  QaResponse Answer(const std::string& question,
+                    sparql::Endpoint& endpoint) override {
+    return AnswerFull(question, endpoint).response;
+  }
+
+  // Full pipeline with intermediate artifacts exposed.
+  KgqanResult AnswerFull(const std::string& question,
+                         sparql::Endpoint& endpoint) const;
+
+  const KgqanConfig& config() const { return config_; }
+  const embed::SemanticAffinity& affinity() const { return *affinity_; }
+  const qu::TriplePatternGenerator& generator() const { return generator_; }
+
+ private:
+  KgqanConfig config_;
+  qu::TriplePatternGenerator generator_;
+  nlp::AnswerTypeClassifier answer_type_classifier_;
+  std::unique_ptr<embed::SemanticAffinity> affinity_;
+  JitLinker linker_;
+  BgpGenerator bgp_generator_;
+  Filtration filtration_;
+};
+
+}  // namespace kgqan::core
+
+#endif  // KGQAN_CORE_ENGINE_H_

@@ -1,0 +1,233 @@
+#include "core/linker.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace kgqan::core {
+
+namespace {
+
+// Truncates a scored vector to its top-k by score (stable for ties).
+template <typename T>
+void KeepTopK(std::vector<T>& items, size_t k) {
+  std::stable_sort(items.begin(), items.end(),
+                   [](const T& a, const T& b) { return a.score > b.score; });
+  if (items.size() > k) items.resize(k);
+}
+
+}  // namespace
+
+std::string JitLinker::PotentialRelevantVerticesQuery(
+    const std::string& label, size_t max_vr) {
+  // Q(l_n): disjunction of the label's content words (Sec. 5.1).
+  std::vector<std::string> words = text::ContentTokens(label);
+  std::string expr;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) expr += " OR ";
+    expr += "'" + words[i] + "'";
+  }
+  return "SELECT ?v ?p ?d WHERE { ?v ?p ?d . ?d <bif:contains> \"" + expr +
+         "\" . } LIMIT " + std::to_string(max_vr);
+}
+
+std::vector<RelevantVertex> JitLinker::LinkEntity(
+    const std::string& label, sparql::Endpoint& endpoint) const {
+  std::vector<RelevantVertex> out;
+  if (label.empty()) return out;
+  auto rs = endpoint.Query(
+      PotentialRelevantVerticesQuery(label, config_->max_fetched_vertices));
+  if (!rs.ok()) return out;
+
+  // Best affinity per vertex across its descriptions.
+  std::unordered_map<std::string, double> best;
+  auto v_col = rs->ColumnIndex("v");
+  auto d_col = rs->ColumnIndex("d");
+  if (!v_col.has_value() || !d_col.has_value()) return out;
+  for (size_t r = 0; r < rs->NumRows(); ++r) {
+    const auto& v = rs->At(r, *v_col);
+    const auto& d = rs->At(r, *d_col);
+    if (!v.has_value() || !d.has_value()) continue;
+    if (!v->IsIri()) continue;
+    double score = affinity_->NormalizedScore(label, d->value);
+    auto [it, inserted] = best.emplace(v->value, score);
+    if (!inserted && score > it->second) it->second = score;
+  }
+  out.reserve(best.size());
+  for (const auto& [iri, score] : best) {
+    out.push_back(RelevantVertex{iri, score});
+  }
+  KeepTopK(out, config_->top_k_vertices);
+  return out;
+}
+
+std::string JitLinker::PredicateDescription(const std::string& iri,
+                                            sparql::Endpoint& endpoint) const {
+  if (rdf::IsHumanReadableIri(iri)) {
+    // d_p = p: the URI's local name, split into words ("nearestCity" ->
+    // "nearest city").
+    return util::Join(util::SplitIdentifierWords(rdf::IriLocalName(iri)),
+                      " ");
+  }
+  // Cryptic predicate (e.g. wdg:P227): fetch its description from the KG.
+  auto rs = endpoint.Query("SELECT ?d WHERE { <" + iri +
+                           "> ?lp ?d . } LIMIT 8");
+  if (rs.ok()) {
+    for (size_t r = 0; r < rs->NumRows(); ++r) {
+      const auto& d = rs->At(r, 0);
+      if (d.has_value() && d->IsLiteral() &&
+          (d->IsStringLiteral() || !d->lang.empty())) {
+        return d->value;
+      }
+    }
+  }
+  return std::string(rdf::IriLocalName(iri));
+}
+
+std::vector<RelevantPredicate> JitLinker::LinkRelation(
+    const Agp& agp, const qu::Pgp::Edge& edge, size_t edge_index,
+    sparql::Endpoint& endpoint) const {
+  (void)edge_index;
+  std::vector<RelevantPredicate> out;
+  const std::string& relation_label = edge.label;
+
+  // T_rv: union of relevant vertices of the two endpoints, remembering
+  // which node each vertex annotates.
+  std::vector<std::pair<std::string, size_t>> anchor_vertices;
+  for (size_t node : {edge.a, edge.b}) {
+    for (const RelevantVertex& rv : agp.node_vertices[node]) {
+      anchor_vertices.emplace_back(rv.iri, node);
+    }
+  }
+
+  // Cache predicate descriptions and scores across anchors.
+  std::unordered_map<std::string, double> score_cache;
+  auto predicate_score = [&](const std::string& p_iri) {
+    auto it = score_cache.find(p_iri);
+    if (it != score_cache.end()) return it->second;
+    double s =
+        affinity_->NormalizedScore(
+            relation_label, PredicateDescription(p_iri, endpoint));
+    score_cache.emplace(p_iri, s);
+    return s;
+  };
+
+  std::unordered_set<std::string> seen;  // (p, v, o) dedup.
+  for (const auto& [v_iri, node] : anchor_vertices) {
+    // outgoingPredicate(v) and incomingPredicate(v) (Sec. 5.2); both
+    // directions because the PGP is undirected.
+    for (bool vertex_is_object : {false, true}) {
+      std::string query =
+          vertex_is_object
+              ? "SELECT DISTINCT ?p WHERE { ?sub ?p <" + v_iri + "> . }"
+              : "SELECT DISTINCT ?p WHERE { <" + v_iri + "> ?p ?obj . }";
+      auto rs = endpoint.Query(query);
+      if (!rs.ok()) continue;
+      for (size_t r = 0; r < rs->NumRows(); ++r) {
+        const auto& p = rs->At(r, 0);
+        if (!p.has_value() || !p->IsIri()) continue;
+        std::string key =
+            p->value + "\x1f" + v_iri + (vertex_is_object ? "\x1fO" : "\x1fS");
+        if (!seen.insert(key).second) continue;
+        RelevantPredicate rp;
+        rp.iri = p->value;
+        rp.score = predicate_score(p->value);
+        rp.anchor_iri = v_iri;
+        rp.anchor_node = node;
+        rp.vertex_is_object = vertex_is_object;
+        out.push_back(std::move(rp));
+      }
+    }
+  }
+  KeepTopK(out, config_->top_k_predicates);
+  return out;
+}
+
+Agp JitLinker::Link(const qu::Pgp& pgp, sparql::Endpoint& endpoint) const {
+  Agp agp;
+  agp.pgp = pgp;
+  agp.node_vertices.resize(pgp.nodes().size());
+  agp.edge_predicates.resize(pgp.edges().size());
+
+  // Algorithm 1 per node: unknowns have no relevant vertices (line 1-2).
+  for (size_t i = 0; i < pgp.nodes().size(); ++i) {
+    const qu::Pgp::Node& node = pgp.nodes()[i];
+    if (node.is_unknown) continue;
+    agp.node_vertices[i] = LinkEntity(node.label, endpoint);
+  }
+  // Algorithm 2 per edge — first the edges with at least one annotated
+  // endpoint.
+  std::vector<size_t> pending;
+  for (size_t e = 0; e < pgp.edges().size(); ++e) {
+    const qu::Pgp::Edge& edge = pgp.edges()[e];
+    if (agp.node_vertices[edge.a].empty() &&
+        agp.node_vertices[edge.b].empty()) {
+      pending.push_back(e);  // Unknown-unknown edge (path questions).
+      continue;
+    }
+    agp.edge_predicates[e] = LinkRelation(agp, pgp.edges()[e], e, endpoint);
+  }
+
+  // Path questions produce edges between two unknowns, which have no
+  // relevant vertices yet.  Derive candidate vertices for an intermediate
+  // unknown from the already-linked edges incident to it (executing their
+  // top partially-instantiated triples), then link the pending edge
+  // against those.
+  for (size_t e : pending) {
+    const qu::Pgp::Edge& edge = pgp.edges()[e];
+    for (size_t node : {edge.a, edge.b}) {
+      if (!agp.node_vertices[node].empty()) continue;
+      DeriveUnknownVertices(&agp, node, endpoint);
+    }
+    agp.edge_predicates[e] = LinkRelation(agp, pgp.edges()[e], e, endpoint);
+  }
+  return agp;
+}
+
+void JitLinker::DeriveUnknownVertices(Agp* agp, size_t node,
+                                      sparql::Endpoint& endpoint) const {
+  constexpr size_t kMaxDerived = 10;
+  constexpr size_t kPredicatesPerEdge = 3;
+  std::unordered_map<std::string, double> best;
+  const auto& edges = agp->pgp.edges();
+  for (size_t e2 = 0; e2 < edges.size(); ++e2) {
+    const qu::Pgp::Edge& edge2 = edges[e2];
+    if (edge2.a != node && edge2.b != node) continue;
+    size_t taken = 0;
+    for (const RelevantPredicate& rp : agp->edge_predicates[e2]) {
+      if (rp.anchor_node == node) continue;  // Anchored on this unknown.
+      if (taken++ >= kPredicatesPerEdge) break;
+      // The anchor vertex occupies one side of the predicate; this unknown
+      // binds the other side.
+      std::string query =
+          rp.vertex_is_object
+              ? "SELECT DISTINCT ?x WHERE { ?x <" + rp.iri + "> <" +
+                    rp.anchor_iri + "> . } LIMIT " +
+                    std::to_string(kMaxDerived)
+              : "SELECT DISTINCT ?x WHERE { <" + rp.anchor_iri + "> <" +
+                    rp.iri + "> ?x . } LIMIT " + std::to_string(kMaxDerived);
+      auto rs = endpoint.Query(query);
+      if (!rs.ok()) continue;
+      for (size_t r = 0; r < rs->NumRows(); ++r) {
+        const auto& x = rs->At(r, 0);
+        if (!x.has_value() || !x->IsIri()) continue;
+        auto [it, inserted] = best.emplace(x->value, rp.score);
+        if (!inserted && rp.score > it->second) it->second = rp.score;
+      }
+    }
+  }
+  auto& derived = agp->node_vertices[node];
+  for (const auto& [iri, score] : best) {
+    derived.push_back(RelevantVertex{iri, score});
+  }
+  std::stable_sort(derived.begin(), derived.end(),
+                   [](const RelevantVertex& a, const RelevantVertex& b) {
+                     return a.score > b.score;
+                   });
+  if (derived.size() > kMaxDerived) derived.resize(kMaxDerived);
+}
+
+}  // namespace kgqan::core

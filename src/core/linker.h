@@ -1,0 +1,67 @@
+// Just-in-time entity and relation linking (Sec. 5, Algorithms 1 and 2).
+//
+// The linker talks to the target KG exclusively through its public SPARQL
+// API: a text-containment query per entity node (answered by the RDF
+// engine's built-in full-text index) and outgoing/incoming predicate
+// lookups per relevant vertex.  No pre-processing, no prior knowledge of
+// the KG.
+
+#ifndef KGQAN_CORE_LINKER_H_
+#define KGQAN_CORE_LINKER_H_
+
+#include <string>
+
+#include "core/agp.h"
+#include "core/config.h"
+#include "embedding/affinity.h"
+#include "qu/pgp.h"
+#include "sparql/endpoint.h"
+
+namespace kgqan::core {
+
+class JitLinker {
+ public:
+  JitLinker(const KgqanConfig* config, const embed::SemanticAffinity* affinity)
+      : config_(config), affinity_(affinity) {}
+
+  // Annotates every node and edge of `pgp` against `endpoint` (Def. 5.3).
+  Agp Link(const qu::Pgp& pgp, sparql::Endpoint& endpoint) const;
+
+  // Algorithm 1 for a single node: relevant vertices of `label`.
+  std::vector<RelevantVertex> LinkEntity(const std::string& label,
+                                         sparql::Endpoint& endpoint) const;
+
+  // Builds the potentialRelevantVertices SPARQL request for a node label
+  // (exposed for tests).
+  static std::string PotentialRelevantVerticesQuery(const std::string& label,
+                                                    size_t max_vr);
+
+  // Algorithm 2 for a single edge.  Public so that baselines with their
+  // own entity-linking indexes (EDGQA's BERT-ranked relation linking is
+  // behaviourally the same semantic ranking) can reuse it on an Agp whose
+  // node_vertices they filled themselves.
+  std::vector<RelevantPredicate> LinkRelation(const Agp& agp,
+                                              const qu::Pgp::Edge& edge,
+                                              size_t edge_index,
+                                              sparql::Endpoint& endpoint) const;
+
+  // Retrieves a human-readable description for predicate `iri`: the IRI's
+  // local name if readable, otherwise a string literal attached to the
+  // predicate vertex itself (the wdg:P227 case of Sec. 5.2).
+  // Path support: materializes candidate vertices for an intermediate
+  // unknown node from the already-linked edges incident to it, so that
+  // unknown-unknown edges can be relation-linked.
+  void DeriveUnknownVertices(Agp* agp, size_t node,
+                             sparql::Endpoint& endpoint) const;
+
+ private:
+  std::string PredicateDescription(const std::string& iri,
+                                   sparql::Endpoint& endpoint) const;
+
+  const KgqanConfig* config_;
+  const embed::SemanticAffinity* affinity_;
+};
+
+}  // namespace kgqan::core
+
+#endif  // KGQAN_CORE_LINKER_H_

@@ -1,0 +1,83 @@
+#include "core/multi_intention.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "text/tokenizer.h"
+
+namespace kgqan::core {
+
+namespace {
+
+constexpr std::array<const char*, 5> kWhWords = {"when", "where", "who",
+                                                 "what", "which"};
+
+bool IsWh(const std::string& word) {
+  return std::find(kWhWords.begin(), kWhWords.end(), word) != kWhWords.end();
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) {
+    s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> MultiIntentionAnswerer::Split(
+    const std::string& question) {
+  // Pattern: "<wh1> and <wh2> <rest>".
+  std::vector<std::string> tokens = text::Tokenize(question);
+  if (tokens.size() < 4) return {};
+  if (!IsWh(tokens[0]) || tokens[1] != "and" || !IsWh(tokens[2])) return {};
+  if (tokens[0] == tokens[2]) return {};
+
+  // Reconstruct the shared remainder from the original text (everything
+  // after the third token), preserving case and punctuation.
+  size_t seen = 0;
+  size_t pos = 0;
+  while (pos < question.size() && seen < 3) {
+    // Skip to the end of the current word.
+    while (pos < question.size() &&
+           !std::isalnum(static_cast<unsigned char>(question[pos]))) {
+      ++pos;
+    }
+    while (pos < question.size() &&
+           std::isalnum(static_cast<unsigned char>(question[pos]))) {
+      ++pos;
+    }
+    ++seen;
+  }
+  while (pos < question.size() &&
+         std::isspace(static_cast<unsigned char>(question[pos]))) {
+    ++pos;
+  }
+  std::string rest = question.substr(pos);
+  if (rest.empty()) return {};
+
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back(tokens[0], Capitalize(tokens[0]) + " " + rest);
+  out.emplace_back(tokens[2], Capitalize(tokens[2]) + " " + rest);
+  return out;
+}
+
+bool MultiIntentionAnswerer::IsMultiIntention(const std::string& question) {
+  return !Split(question).empty();
+}
+
+std::vector<IntentionAnswer> MultiIntentionAnswerer::Answer(
+    const std::string& question, sparql::Endpoint& endpoint) const {
+  std::vector<IntentionAnswer> out;
+  for (auto& [wh, single] : Split(question)) {
+    IntentionAnswer ia;
+    ia.intention = wh;
+    ia.question = single;
+    ia.response = engine_->Answer(single, endpoint);
+    out.push_back(std::move(ia));
+  }
+  return out;
+}
+
+}  // namespace kgqan::core

@@ -1,0 +1,52 @@
+// Multi-intention questions — the paper's future-work extension
+// (footnote 12): questions with two intentions, e.g. "When and where did
+// Covid-19 start?".
+//
+// The decomposition approach follows the paper's framing of intentions as
+// separate main unknowns: the double question-word opener is split into
+// one single-intention question per wh-word, each answered by the
+// unmodified KGQAn pipeline, and the answers are returned labelled by
+// intention.
+
+#ifndef KGQAN_CORE_MULTI_INTENTION_H_
+#define KGQAN_CORE_MULTI_INTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace kgqan::core {
+
+struct IntentionAnswer {
+  std::string intention;  // The question word, e.g. "when".
+  std::string question;   // The reconstructed single-intention question.
+  QaResponse response;
+};
+
+class MultiIntentionAnswerer {
+ public:
+  explicit MultiIntentionAnswerer(KgqanEngine* engine)
+      : engine_(engine) {}
+
+  // True iff the question opens with two coordinated question words
+  // ("When and where ...", "Who and when ..." etc.).
+  static bool IsMultiIntention(const std::string& question);
+
+  // Splits `question` into its single-intention parts (exposed for
+  // tests); empty when the question is not multi-intention.
+  static std::vector<std::pair<std::string, std::string>> Split(
+      const std::string& question);
+
+  // Answers every intention; empty when the question is not
+  // multi-intention (callers then fall back to KgqanEngine::Answer).
+  std::vector<IntentionAnswer> Answer(const std::string& question,
+                                      sparql::Endpoint& endpoint) const;
+
+ private:
+  KgqanEngine* engine_;
+};
+
+}  // namespace kgqan::core
+
+#endif  // KGQAN_CORE_MULTI_INTENTION_H_

@@ -1,0 +1,66 @@
+#include "embedding/affinity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace kgqan::embed {
+
+namespace {
+
+struct TokenEmbedding {
+  const Vec* vec;
+  bool from_word_model;
+};
+
+}  // namespace
+
+SemanticAffinity::SemanticAffinity(AffinityMode mode)
+    : mode_(mode), sentences_(&words_) {}
+
+double SemanticAffinity::Score(std::string_view a, std::string_view b) const {
+  if (mode_ == AffinityMode::kCoarseGrained) {
+    double cos = Cosine(sentences_.Embed(a), sentences_.Embed(b));
+    return std::max(0.0, cos);
+  }
+
+  auto embed_phrase = [&](std::string_view phrase) {
+    std::vector<TokenEmbedding> out;
+    for (const std::string& tok : text::ContentTokens(phrase)) {
+      if (Lexicon::IsKnownWord(tok)) {
+        out.push_back({&words_.Embed(tok), /*from_word_model=*/true});
+      } else {
+        out.push_back({&chars_.Embed(tok), /*from_word_model=*/false});
+      }
+    }
+    return out;
+  };
+
+  std::vector<TokenEmbedding> xs = embed_phrase(a);
+  std::vector<TokenEmbedding> ys = embed_phrase(b);
+  if (xs.empty() || ys.empty()) return 0.0;
+
+  // Eq. 1: mean over all cross pairs; cross-model pairs score 0.
+  double sum = 0.0;
+  for (const TokenEmbedding& x : xs) {
+    for (const TokenEmbedding& y : ys) {
+      if (x.from_word_model != y.from_word_model) continue;
+      sum += std::max(0.0, Cosine(*x.vec, *y.vec));
+    }
+  }
+  return sum / (static_cast<double>(xs.size()) * static_cast<double>(ys.size()));
+}
+
+double SemanticAffinity::NormalizedScore(std::string_view a,
+                                         std::string_view b) const {
+  double raw = Score(a, b);
+  if (raw <= 0.0) return 0.0;
+  double self_a = Score(a, a);
+  double self_b = Score(b, b);
+  if (self_a <= 0.0 || self_b <= 0.0) return 0.0;
+  double norm = raw / std::sqrt(self_a * self_b);
+  return std::min(1.0, norm);
+}
+
+}  // namespace kgqan::embed

@@ -1,0 +1,60 @@
+// Semantic affinity between two phrases (Sec. 5.4, Eq. 1).
+//
+// Fine-grained mode (default): every pair of words across the two phrases
+// is compared by cosine similarity; words known to the word model use
+// subword embeddings, out-of-vocabulary words fall back to the character
+// (spelling) model, and pairs mixing the two models score 0 — exactly the
+// rules of Eq. 1.  Coarse-grained mode: one pooled vector per phrase
+// (GPT-3 stand-in), Eq. 1 degenerates to a single cosine.
+
+#ifndef KGQAN_EMBEDDING_AFFINITY_H_
+#define KGQAN_EMBEDDING_AFFINITY_H_
+
+#include <string_view>
+
+#include "embedding/char_embedder.h"
+#include "embedding/lexicon.h"
+#include "embedding/sentence_embedder.h"
+#include "embedding/subword_embedder.h"
+
+namespace kgqan::embed {
+
+enum class AffinityMode {
+  kFineGrained,    // FastText + chars2vec, Eq. 1 (paper default).
+  kCoarseGrained,  // Single sentence vector per phrase (GPT-3 variant).
+};
+
+class SemanticAffinity {
+ public:
+  explicit SemanticAffinity(AffinityMode mode = AffinityMode::kFineGrained);
+
+  SemanticAffinity(const SemanticAffinity&) = delete;
+  SemanticAffinity& operator=(const SemanticAffinity&) = delete;
+
+  AffinityMode mode() const { return mode_; }
+
+  // Raw Eq. 1 score in [0, 1]; higher = semantically closer.  Negative
+  // cosines are clamped to 0 so unrelated pairs do not drag multi-word
+  // scores below zero.
+  double Score(std::string_view a, std::string_view b) const;
+
+  // Length-normalized affinity: Score(a, b) / sqrt(Score(a,a)*Score(b,b)).
+  // Raw Eq. 1 self-affinity of an n-word phrase is ~1/n (off-diagonal
+  // pairs are unrelated), which compresses score differences for long
+  // labels; normalization restores "identical phrase = 1.0", matching the
+  // linker scores the paper reports in Figure 4 (Kaliningrad -> 1.00,
+  // "Yantar, Kaliningrad" -> 0.83).  This is what the linker uses.
+  double NormalizedScore(std::string_view a, std::string_view b) const;
+
+  const SubwordEmbedder& word_model() const { return words_; }
+
+ private:
+  AffinityMode mode_;
+  SubwordEmbedder words_;
+  CharEmbedder chars_;
+  SentenceEmbedder sentences_;
+};
+
+}  // namespace kgqan::embed
+
+#endif  // KGQAN_EMBEDDING_AFFINITY_H_

@@ -1,0 +1,35 @@
+#include "embedding/char_embedder.h"
+
+#include "embedding/subword_embedder.h"
+#include "util/string_util.h"
+
+namespace kgqan::embed {
+
+const Vec& CharEmbedder::Embed(std::string_view word) const {
+  std::string lower = util::ToLower(word);
+  auto it = cache_.find(lower);
+  if (it != cache_.end()) return it->second;
+  Vec v = Compute(lower);
+  return cache_.emplace(std::move(lower), std::move(v)).first->second;
+}
+
+Vec CharEmbedder::Compute(const std::string& word) {
+  std::string marked = "^" + word + "$";
+  Vec v(kDim, 0.0f);
+  for (int n = 2; n <= 3; ++n) {
+    if (marked.size() < static_cast<size_t>(n)) break;
+    for (size_t i = 0; i + n <= marked.size(); ++i) {
+      AddScaled(v,
+                SubwordEmbedder::HashVector(
+                    "char:" + marked.substr(i, static_cast<size_t>(n)), kDim),
+                1.0f);
+    }
+  }
+  if (marked.size() < 2) {
+    v = SubwordEmbedder::HashVector("char:" + marked, kDim);
+  }
+  Normalize(v);
+  return v;
+}
+
+}  // namespace kgqan::embed

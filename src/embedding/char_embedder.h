@@ -1,0 +1,35 @@
+// chars2vec-style spelling embeddings: a profile of hashed character
+// bigrams/trigrams, so that similarly spelled strings (identifiers, codes,
+// misspellings) have high cosine similarity.  Used as the fallback for
+// words outside the word model's vocabulary (Sec. 5.4).
+
+#ifndef KGQAN_EMBEDDING_CHAR_EMBEDDER_H_
+#define KGQAN_EMBEDDING_CHAR_EMBEDDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "embedding/vec.h"
+
+namespace kgqan::embed {
+
+class CharEmbedder {
+ public:
+  static constexpr int kDim = 64;
+
+  CharEmbedder() = default;
+
+  // Unit-norm spelling embedding of `word` (case-insensitive).  Cached;
+  // not thread-safe.
+  const Vec& Embed(std::string_view word) const;
+
+ private:
+  static Vec Compute(const std::string& word);
+
+  mutable std::unordered_map<std::string, Vec> cache_;
+};
+
+}  // namespace kgqan::embed
+
+#endif  // KGQAN_EMBEDDING_CHAR_EMBEDDER_H_

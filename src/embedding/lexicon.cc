@@ -1,0 +1,106 @@
+#include "embedding/lexicon.h"
+
+#include <cctype>
+
+namespace kgqan::embed {
+
+Lexicon::Lexicon() {
+  // General-fact vocabulary (people, places, works, organizations).
+  AddCluster({"spouse", "wife", "husband", "married", "marry", "marries"});
+  AddCluster({"born", "birth", "natal"});
+  AddCluster({"died", "death", "dies", "die", "dead", "deceased"});
+  AddCluster({"place", "location", "located", "situated", "site", "lies"});
+  AddCluster({"population", "inhabitants", "populous"});
+  AddCluster({"capital"});
+  AddCluster({"country", "nation"});
+  AddCluster({"city", "town", "municipality"});
+  AddCluster({"near", "nearest", "close", "closest", "shore", "coast",
+              "waterfront", "adjacent"});
+  AddCluster({"flow", "flows", "outflow", "drains", "drain", "empties",
+              "inflow", "mouth", "discharges"});
+  AddCluster({"mountain", "peak", "mount", "summit"});
+  AddCluster({"range", "chain", "massif"});
+  AddCluster({"elevation", "height", "altitude", "high", "tall"});
+  AddCluster({"author", "writer", "wrote", "written", "write", "authored",
+              "writes", "creator", "created", "penned"});
+  AddCluster({"director", "directed", "direct", "filmmaker", "directs"});
+  AddCluster({"starring", "starred", "star", "actor", "actress", "acted",
+              "cast", "stars"});
+  AddCluster({"founded", "founder", "established", "founding", "cofounder",
+              "founders"});
+  AddCluster({"headquarters", "headquartered", "based", "seat"});
+  AddCluster({"studied", "alma", "mater", "graduated", "educated",
+              "attended", "attend", "study"});
+  AddCluster({"university", "college", "school", "academy"});
+  AddCluster({"occupation", "profession", "job", "career", "works", "work"});
+  AddCluster({"residence", "lives", "resides", "residing", "home",
+              "dwelling"});
+  AddCluster({"language", "speaks", "spoken", "tongue", "languages"});
+  AddCluster({"currency", "money", "tender"});
+  AddCluster({"area", "size", "extent", "surface"});
+  AddCluster({"length", "long"});
+  AddCluster({"mayor"});
+  AddCluster({"leader", "president", "head", "chief", "premier",
+              "chancellor", "governor", "ruler", "rules", "leads"});
+  AddCluster({"award", "prize", "won", "winner", "received", "honored",
+              "wins", "awarded"});
+  AddCluster({"sea", "ocean", "gulf", "bay"});
+  AddCluster({"river", "stream", "tributary"});
+  AddCluster({"lake", "lagoon"});
+  AddCluster({"film", "movie", "picture", "films"});
+  AddCluster({"book", "novel", "books"});
+  AddCluster({"company", "corporation", "firm", "enterprise", "business"});
+  AddCluster({"person", "people", "human", "individual"});
+  AddCluster({"name", "named", "called", "entitled", "title", "titled"});
+  AddCluster({"year", "date", "time"});
+  AddCluster({"cross", "crosses", "spans", "traverses"});
+  AddCluster({"release", "released", "premiere", "premiered"});
+
+  // Scholarly vocabulary (papers, venues, citations).
+  AddCluster({"paper", "article", "publication", "papers"});
+  AddCluster({"published", "appeared", "appears", "publish", "publishes"});
+  AddCluster({"venue", "journal", "conference", "proceedings", "magazine"});
+  AddCluster({"citation", "citations", "cited", "cites", "references",
+              "referenced"});
+  AddCluster({"affiliation", "affiliated", "institute", "institution",
+              "employed", "employer", "employs", "member"});
+  AddCluster({"advisor", "adviser", "advised", "supervisor", "supervised",
+              "mentor", "supervises"});
+  AddCluster({"collaborated", "collaboration", "coauthor", "coauthored",
+              "colleague", "collaborates", "collaborator"});
+  AddCluster({"field", "topic", "subject", "discipline", "studies"});
+  AddCluster({"research", "researcher", "scientist", "academic"});
+}
+
+void Lexicon::AddCluster(std::initializer_list<std::string_view> words) {
+  int id = static_cast<int>(names_.size());
+  bool first = true;
+  for (std::string_view w : words) {
+    if (first) {
+      names_.emplace_back(w);
+      first = false;
+    }
+    cluster_of_.emplace(std::string(w), id);
+  }
+}
+
+std::optional<int> Lexicon::ClusterOf(std::string_view word) const {
+  auto it = cluster_of_.find(std::string(word));
+  if (it == cluster_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Lexicon::IsKnownWord(std::string_view word) {
+  if (word.empty()) return false;
+  for (char c : word) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+const Lexicon& DefaultLexicon() {
+  static const Lexicon* kLexicon = new Lexicon();
+  return *kLexicon;
+}
+
+}  // namespace kgqan::embed

@@ -1,0 +1,55 @@
+// Relatedness lexicon: clusters of semantically related English words.
+//
+// The paper's semantic affinity model is FastText trained on general
+// English text, in which related words (wife/spouse, flows/outflow,
+// author/writer) are close in the vector space.  We reproduce that
+// property explicitly: the SubwordEmbedder pulls every word of a cluster
+// toward a shared cluster anchor vector.  The lexicon covers general QA
+// vocabulary — it is *not* derived from any knowledge graph, mirroring the
+// KG-independence of the paper's affinity model.
+
+#ifndef KGQAN_EMBEDDING_LEXICON_H_
+#define KGQAN_EMBEDDING_LEXICON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kgqan::embed {
+
+class Lexicon {
+ public:
+  // Builds the built-in general-English lexicon.
+  Lexicon();
+
+  // Cluster id of `word` (lower-case), if the word is in the lexicon.
+  std::optional<int> ClusterOf(std::string_view word) const;
+
+  // Canonical name (first member) of cluster `id`.
+  const std::string& ClusterName(int id) const { return names_[id]; }
+
+  size_t num_clusters() const { return names_.size(); }
+  size_t num_words() const { return cluster_of_.size(); }
+
+  // True if `word` is part of the model's known vocabulary: lexicon words
+  // plus purely alphabetic tokens (our stand-in for "appears in FastText's
+  // 1M-word vocabulary").  Digit-bearing tokens such as "p227" or
+  // "2279569217" are out-of-vocabulary and fall back to the character
+  // model, as in Sec. 5.4.
+  static bool IsKnownWord(std::string_view word);
+
+ private:
+  void AddCluster(std::initializer_list<std::string_view> words);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> cluster_of_;
+};
+
+// Shared process-wide lexicon instance.
+const Lexicon& DefaultLexicon();
+
+}  // namespace kgqan::embed
+
+#endif  // KGQAN_EMBEDDING_LEXICON_H_

@@ -1,0 +1,21 @@
+#include "embedding/sentence_embedder.h"
+
+#include "text/tokenizer.h"
+
+namespace kgqan::embed {
+
+Vec SentenceEmbedder::Embed(std::string_view phrase) const {
+  std::vector<std::string> tokens = text::Tokenize(phrase);
+  Vec out(SubwordEmbedder::kDim, 0.0f);
+  if (tokens.empty()) return out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    // Mild positional decay approximates the leading-token emphasis of
+    // transformer sentence embeddings.
+    float weight = 1.0f / (1.0f + 0.15f * static_cast<float>(i));
+    AddScaled(out, words_->Embed(tokens[i]), weight);
+  }
+  Normalize(out);
+  return out;
+}
+
+}  // namespace kgqan::embed

@@ -1,0 +1,30 @@
+// Coarse-grained sentence embeddings: one pooled vector per phrase,
+// standing in for the GPT-3 embedding endpoint of Sec. 5.4.  Pooling over
+// all tokens deliberately loses word-level granularity, which is exactly
+// the behaviour contrast the Table 4 ablation measures against the
+// fine-grained (per-word-pair) affinity.
+
+#ifndef KGQAN_EMBEDDING_SENTENCE_EMBEDDER_H_
+#define KGQAN_EMBEDDING_SENTENCE_EMBEDDER_H_
+
+#include <string_view>
+
+#include "embedding/subword_embedder.h"
+#include "embedding/vec.h"
+
+namespace kgqan::embed {
+
+class SentenceEmbedder {
+ public:
+  explicit SentenceEmbedder(const SubwordEmbedder* words) : words_(words) {}
+
+  // Unit-norm pooled embedding of the whole phrase.
+  Vec Embed(std::string_view phrase) const;
+
+ private:
+  const SubwordEmbedder* words_;
+};
+
+}  // namespace kgqan::embed
+
+#endif  // KGQAN_EMBEDDING_SENTENCE_EMBEDDER_H_

@@ -1,0 +1,76 @@
+#include "embedding/subword_embedder.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgqan::embed {
+
+namespace {
+
+// Cluster-anchor vs subword mixing weights; chosen so same-cluster words
+// have cosine >= kAnchorWeight^2 ~= 0.72 while unrelated words stay near 0.
+constexpr float kAnchorWeight = 0.85f;
+constexpr float kSubwordWeight = 0.5268f;  // sqrt(1 - 0.85^2)
+
+}  // namespace
+
+Vec SubwordEmbedder::HashVector(std::string_view key, int dim) {
+  uint64_t seed = util::Fnv1a64(key);
+  Vec v(static_cast<size_t>(dim));
+  for (float& x : v) {
+    // Uniform in [-1, 1): direction is what matters, not the distribution.
+    x = static_cast<float>(
+        (static_cast<double>(util::SplitMix64(seed) >> 11) /
+         9007199254740992.0) *
+            2.0 -
+        1.0);
+  }
+  Normalize(v);
+  return v;
+}
+
+SubwordEmbedder::SubwordEmbedder(const Lexicon* lexicon)
+    : lexicon_(lexicon) {}
+
+const Vec& SubwordEmbedder::Embed(std::string_view word) const {
+  std::string lower = util::ToLower(word);
+  auto it = cache_.find(lower);
+  if (it != cache_.end()) return it->second;
+  Vec v = Compute(lower);
+  return cache_.emplace(std::move(lower), std::move(v)).first->second;
+}
+
+Vec SubwordEmbedder::Compute(const std::string& word) const {
+  // Bag of character n-grams (n = 3..5) over the boundary-marked word, as
+  // in fastText.
+  std::string marked = "<" + word + ">";
+  Vec subword(kDim, 0.0f);
+  int ngrams = 0;
+  for (int n = 3; n <= 5; ++n) {
+    if (marked.size() < static_cast<size_t>(n)) break;
+    for (size_t i = 0; i + n <= marked.size(); ++i) {
+      AddScaled(subword, HashVector(std::string_view(marked).substr(i, n)),
+                1.0f);
+      ++ngrams;
+    }
+  }
+  // Whole-word vector, weighted like a single extra n-gram so that
+  // morphological variants keep high n-gram overlap.
+  AddScaled(subword, HashVector("word:" + word), 1.0f);
+  (void)ngrams;
+  Normalize(subword);
+
+  std::optional<int> cluster = lexicon_->ClusterOf(word);
+  if (!cluster.has_value()) return subword;
+
+  Vec anchor = HashVector("cluster:" + lexicon_->ClusterName(*cluster));
+  Vec out(kDim, 0.0f);
+  AddScaled(out, anchor, kAnchorWeight);
+  AddScaled(out, subword, kSubwordWeight);
+  Normalize(out);
+  return out;
+}
+
+}  // namespace kgqan::embed

@@ -1,0 +1,49 @@
+// FastText-style word embeddings: a word's vector is the (normalized)
+// combination of hashed character n-gram vectors plus a whole-word vector,
+// pulled toward a shared anchor when the word belongs to a lexicon cluster.
+//
+// Properties reproduced from the paper's wiki-news-300d FastText model:
+//  * semantically related words (wife/spouse) have high cosine similarity
+//    (via the lexicon anchors),
+//  * morphological variants (flow/flows) are close (shared n-grams),
+//  * unrelated words are near-orthogonal (independent hashes),
+//  * deterministic — the same word always gets the same vector.
+
+#ifndef KGQAN_EMBEDDING_SUBWORD_EMBEDDER_H_
+#define KGQAN_EMBEDDING_SUBWORD_EMBEDDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "embedding/lexicon.h"
+#include "embedding/vec.h"
+
+namespace kgqan::embed {
+
+class SubwordEmbedder {
+ public:
+  // Embedding dimensionality (the paper uses 300; 96 keeps the simulated
+  // model fast while preserving near-orthogonality of unrelated words).
+  static constexpr int kDim = 96;
+
+  explicit SubwordEmbedder(const Lexicon* lexicon = &DefaultLexicon());
+
+  // Returns the unit-norm embedding of `word` (case-insensitive).  Cached;
+  // not thread-safe.
+  const Vec& Embed(std::string_view word) const;
+
+  // Returns a deterministic unit vector for an arbitrary string key; used
+  // for cluster anchors and by the sentence embedder.
+  static Vec HashVector(std::string_view key, int dim = kDim);
+
+ private:
+  Vec Compute(const std::string& word) const;
+
+  const Lexicon* lexicon_;
+  mutable std::unordered_map<std::string, Vec> cache_;
+};
+
+}  // namespace kgqan::embed
+
+#endif  // KGQAN_EMBEDDING_SUBWORD_EMBEDDER_H_

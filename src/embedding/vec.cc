@@ -1,0 +1,33 @@
+#include "embedding/vec.h"
+
+#include <cmath>
+
+namespace kgqan::embed {
+
+double Dot(const Vec& a, const Vec& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += double(a[i]) * double(b[i]);
+  return sum;
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double Cosine(const Vec& a, const Vec& b) {
+  double na = Norm(a);
+  double nb = Norm(b);
+  if (na < 1e-9 || nb < 1e-9) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void Normalize(Vec& a) {
+  double n = Norm(a);
+  if (n < 1e-9) return;
+  float inv = static_cast<float>(1.0 / n);
+  for (float& x : a) x *= inv;
+}
+
+void AddScaled(Vec& a, const Vec& b, float scale) {
+  for (size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+}  // namespace kgqan::embed

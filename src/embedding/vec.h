@@ -1,0 +1,30 @@
+// Dense float vectors and the small amount of linear algebra the embedding
+// models need.
+
+#ifndef KGQAN_EMBEDDING_VEC_H_
+#define KGQAN_EMBEDDING_VEC_H_
+
+#include <vector>
+
+namespace kgqan::embed {
+
+using Vec = std::vector<float>;
+
+// Dot product; both vectors must have the same dimension.
+double Dot(const Vec& a, const Vec& b);
+
+// Euclidean norm.
+double Norm(const Vec& a);
+
+// Cosine similarity; 0 if either vector is (near) zero.
+double Cosine(const Vec& a, const Vec& b);
+
+// Scales `a` to unit norm in place (no-op for near-zero vectors).
+void Normalize(Vec& a);
+
+// a += scale * b.
+void AddScaled(Vec& a, const Vec& b, float scale);
+
+}  // namespace kgqan::embed
+
+#endif  // KGQAN_EMBEDDING_VEC_H_

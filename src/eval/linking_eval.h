@@ -1,0 +1,41 @@
+// Standalone entity / relation linking evaluation (Figure 9): each
+// system's linker is probed with the gold (phrase -> URI) pairs emitted by
+// the question generator, mirroring the labelled LC-QuAD linking dataset
+// of [18] that the paper uses.
+
+#ifndef KGQAN_EVAL_LINKING_EVAL_H_
+#define KGQAN_EVAL_LINKING_EVAL_H_
+
+#include <string>
+
+#include "baselines/edgqa_like.h"
+#include "baselines/ganswer_like.h"
+#include "benchgen/benchmark.h"
+#include "core/engine.h"
+#include "eval/metrics.h"
+
+namespace kgqan::eval {
+
+struct LinkingScores {
+  Prf entity;
+  Prf relation;
+};
+
+// Probes KGQAn's JIT linker (Algorithms 1-2, executed against the
+// endpoint on the fly).
+LinkingScores EvaluateKgqanLinking(const core::KgqanEngine& engine,
+                                   benchgen::Benchmark& bench);
+
+// Probes gAnswer's URI-token index + synonym matching.  Preprocess() must
+// have run for this endpoint.
+LinkingScores EvaluateGAnswerLinking(baselines::GAnswerLike& system,
+                                     benchgen::Benchmark& bench);
+
+// Probes EDGQA's label-ensemble index + semantic predicate ranking.
+// Preprocess() must have run for this endpoint.
+LinkingScores EvaluateEdgqaLinking(baselines::EdgqaLike& system,
+                                   benchgen::Benchmark& bench);
+
+}  // namespace kgqan::eval
+
+#endif  // KGQAN_EVAL_LINKING_EVAL_H_

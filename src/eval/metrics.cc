@@ -1,0 +1,38 @@
+#include "eval/metrics.h"
+
+#include <set>
+#include <string>
+
+#include "rdf/term.h"
+
+namespace kgqan::eval {
+
+Prf ScoreQuestion(const benchgen::BenchQuestion& gold,
+                  const core::QaResponse& response) {
+  if (gold.is_boolean) {
+    bool correct = response.understood && response.is_boolean &&
+                   response.boolean_answer == gold.gold_boolean;
+    return correct ? Prf{1.0, 1.0, 1.0} : Prf{};
+  }
+  if (response.answers.empty() || gold.gold_answers.empty()) return Prf{};
+
+  std::set<std::string> gold_set;
+  for (const rdf::Term& t : gold.gold_answers) {
+    gold_set.insert(rdf::ToNTriples(t));
+  }
+  std::set<std::string> sys_set;
+  for (const rdf::Term& t : response.answers) {
+    sys_set.insert(rdf::ToNTriples(t));
+  }
+  size_t hit = 0;
+  for (const std::string& s : sys_set) {
+    if (gold_set.count(s)) ++hit;
+  }
+  Prf out;
+  out.p = double(hit) / double(sys_set.size());
+  out.r = double(hit) / double(gold_set.size());
+  out.f1 = (out.p + out.r) > 0 ? 2 * out.p * out.r / (out.p + out.r) : 0.0;
+  return out;
+}
+
+}  // namespace kgqan::eval

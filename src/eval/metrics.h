@@ -1,0 +1,49 @@
+// QALD-style evaluation metrics (Sec. 7.1.3): per-question precision /
+// recall / F1 computed with the rules of the QALD automatic evaluation
+// tool [42], macro-averaged over a benchmark.
+
+#ifndef KGQAN_EVAL_METRICS_H_
+#define KGQAN_EVAL_METRICS_H_
+
+#include "benchgen/question_gen.h"
+#include "core/qa_interface.h"
+
+namespace kgqan::eval {
+
+struct Prf {
+  double p = 0.0;
+  double r = 0.0;
+  double f1 = 0.0;
+};
+
+// Scores one system response against the gold annotation.
+//  * boolean questions: exact match -> 1/1/1, otherwise 0/0/0;
+//  * SELECT questions: set precision/recall over the answer terms; an
+//    empty system answer scores 0/0/0 (the QALD rule).
+Prf ScoreQuestion(const benchgen::BenchQuestion& gold,
+                  const core::QaResponse& response);
+
+// Accumulates per-question scores into a macro average.
+class MacroAverager {
+ public:
+  void Add(const Prf& score) {
+    sum_.p += score.p;
+    sum_.r += score.r;
+    sum_.f1 += score.f1;
+    ++count_;
+  }
+  size_t count() const { return count_; }
+  Prf Average() const {
+    if (count_ == 0) return Prf{};
+    return Prf{sum_.p / double(count_), sum_.r / double(count_),
+               sum_.f1 / double(count_)};
+  }
+
+ private:
+  Prf sum_;
+  size_t count_ = 0;
+};
+
+}  // namespace kgqan::eval
+
+#endif  // KGQAN_EVAL_METRICS_H_

@@ -1,0 +1,134 @@
+#include "eval/report.h"
+
+#include <set>
+
+#include "benchgen/question_gen.h"
+#include "util/string_util.h"
+
+namespace kgqan::eval {
+
+namespace {
+
+// Returns the union of system names across all rows, in first-appearance
+// order.
+std::vector<std::string> SystemNames(
+    const std::vector<BenchmarkReport>& rows) {
+  std::vector<std::string> names;
+  for (const BenchmarkReport& row : rows) {
+    for (const SystemBenchmarkResult& r : row.systems) {
+      bool seen = false;
+      for (const std::string& n : names) {
+        if (n == r.system) seen = true;
+      }
+      if (!seen) names.push_back(r.system);
+    }
+  }
+  return names;
+}
+
+const SystemBenchmarkResult* Find(const BenchmarkReport& row,
+                                  const std::string& system) {
+  for (const SystemBenchmarkResult& r : row.systems) {
+    if (r.system == system) return &r;
+  }
+  return nullptr;
+}
+
+std::string Pct(double v) { return util::FormatDouble(v * 100.0, 1); }
+
+}  // namespace
+
+std::string QualityTableMarkdown(const std::vector<BenchmarkReport>& rows) {
+  std::vector<std::string> systems = SystemNames(rows);
+  std::string out = "| System |";
+  for (const BenchmarkReport& row : rows) {
+    out += " " + row.benchmark + " (P/R/F1) |";
+  }
+  out += "\n|---|";
+  for (size_t i = 0; i < rows.size(); ++i) out += "---|";
+  out += "\n";
+  for (const std::string& system : systems) {
+    out += "| " + system + " |";
+    for (const BenchmarkReport& row : rows) {
+      const SystemBenchmarkResult* r = Find(row, system);
+      if (r == nullptr) {
+        out += " – |";
+      } else {
+        out += " " + Pct(r->macro.p) + " / " + Pct(r->macro.r) + " / " +
+               Pct(r->macro.f1) + " |";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TimingTableMarkdown(const std::vector<BenchmarkReport>& rows) {
+  std::string out =
+      "| Benchmark | System | QU (ms) | Linking (ms) | E&F (ms) | Total |\n"
+      "|---|---|---|---|---|---|\n";
+  for (const BenchmarkReport& row : rows) {
+    for (const SystemBenchmarkResult& r : row.systems) {
+      const core::PhaseTimings& t = r.avg_timings;
+      out += "| " + row.benchmark + " | " + r.system + " | " +
+             util::FormatDouble(t.qu_ms, 2) + " | " +
+             util::FormatDouble(t.linking_ms, 2) + " | " +
+             util::FormatDouble(t.execution_ms, 2) + " | " +
+             util::FormatDouble(t.TotalMs(), 2) + " |\n";
+    }
+  }
+  return out;
+}
+
+std::string FailureTableMarkdown(const std::vector<BenchmarkReport>& rows) {
+  std::string out =
+      "| Benchmark | System | #Questions | due to QU | others | total "
+      "failing |\n|---|---|---|---|---|---|\n";
+  for (const BenchmarkReport& row : rows) {
+    for (const SystemBenchmarkResult& r : row.systems) {
+      out += "| " + row.benchmark + " | " + r.system + " | " +
+             std::to_string(r.num_questions) + " | " +
+             std::to_string(r.qu_failures) + " | " +
+             std::to_string(r.failures - r.qu_failures) + " | " +
+             std::to_string(r.failures) + " |\n";
+    }
+  }
+  return out;
+}
+
+std::string TaxonomyTableMarkdown(const std::vector<BenchmarkReport>& rows) {
+  std::string out =
+      "| Benchmark | System | star | path | single | w/type | multi | "
+      "boolean |\n|---|---|---|---|---|---|---|---|\n";
+  for (const BenchmarkReport& row : rows) {
+    for (const SystemBenchmarkResult& r : row.systems) {
+      const TaxonomyCounts& t = r.taxonomy;
+      out += "| " + row.benchmark + " | " + r.system + " |";
+      for (size_t shape = 0; shape < 2; ++shape) {
+        out += " " + std::to_string(t.solved_by_shape[shape]) + "/" +
+               std::to_string(t.total_by_shape[shape]) + " |";
+      }
+      for (size_t ling = 0; ling < 4; ++ling) {
+        out += " " + std::to_string(t.solved_by_ling[ling]) + "/" +
+               std::to_string(t.total_by_ling[ling]) + " |";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string LinkingTableMarkdown(
+    const std::vector<std::pair<std::string, LinkingScores>>& rows) {
+  std::string out =
+      "| System | Entity P/R/F1 | Relation P/R/F1 |\n|---|---|---|\n";
+  for (const auto& [system, scores] : rows) {
+    out += "| " + system + " | " + Pct(scores.entity.p) + " / " +
+           Pct(scores.entity.r) + " / " + Pct(scores.entity.f1) + " | " +
+           Pct(scores.relation.p) + " / " + Pct(scores.relation.r) + " / " +
+           Pct(scores.relation.f1) + " |\n";
+  }
+  return out;
+}
+
+}  // namespace kgqan::eval

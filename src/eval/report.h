@@ -1,0 +1,40 @@
+// Markdown report generation for evaluation results — turns the
+// aggregates of eval::RunEvaluation into the tables a write-up needs
+// (quality, response time, failures, taxonomy).
+
+#ifndef KGQAN_EVAL_REPORT_H_
+#define KGQAN_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/linking_eval.h"
+#include "eval/runner.h"
+
+namespace kgqan::eval {
+
+// One benchmark's results across systems.
+struct BenchmarkReport {
+  std::string benchmark;
+  std::vector<SystemBenchmarkResult> systems;
+};
+
+// Markdown table of macro P/R/F1 per system per benchmark (Table 3 style).
+std::string QualityTableMarkdown(const std::vector<BenchmarkReport>& rows);
+
+// Markdown table of per-phase response times (Figure 7 style).
+std::string TimingTableMarkdown(const std::vector<BenchmarkReport>& rows);
+
+// Markdown table of failure counts split by cause (Figure 8 style).
+std::string FailureTableMarkdown(const std::vector<BenchmarkReport>& rows);
+
+// Markdown table of the solved-question taxonomy (Table 5 style).
+std::string TaxonomyTableMarkdown(const std::vector<BenchmarkReport>& rows);
+
+// Markdown table of standalone linking scores (Figure 9 style).
+std::string LinkingTableMarkdown(
+    const std::vector<std::pair<std::string, LinkingScores>>& rows);
+
+}  // namespace kgqan::eval
+
+#endif  // KGQAN_EVAL_REPORT_H_

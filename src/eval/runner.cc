@@ -1,0 +1,46 @@
+#include "eval/runner.h"
+
+namespace kgqan::eval {
+
+SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
+                                    benchgen::Benchmark& bench) {
+  SystemBenchmarkResult result;
+  result.system = system.name();
+  result.benchmark = bench.name;
+
+  MacroAverager averager;
+  core::PhaseTimings total;
+  for (const benchgen::BenchQuestion& q : bench.questions) {
+    core::QaResponse resp = system.Answer(q.text, *bench.endpoint);
+    Prf score = ScoreQuestion(q, resp);
+    averager.Add(score);
+    total.qu_ms += resp.timings.qu_ms;
+    total.linking_ms += resp.timings.linking_ms;
+    total.execution_ms += resp.timings.execution_ms;
+
+    const bool failed = score.r == 0.0 && score.f1 == 0.0;
+    if (failed) {
+      ++result.failures;
+      if (!resp.understood) ++result.qu_failures;
+    }
+    const size_t shape_idx = q.shape == benchgen::QueryShape::kStar ? 0 : 1;
+    const size_t ling_idx = static_cast<size_t>(q.ling);
+    ++result.taxonomy.total_by_shape[shape_idx];
+    ++result.taxonomy.total_by_ling[ling_idx];
+    if (score.f1 > 0.0) {
+      ++result.taxonomy.solved_by_shape[shape_idx];
+      ++result.taxonomy.solved_by_ling[ling_idx];
+    }
+  }
+  result.num_questions = averager.count();
+  result.macro = averager.Average();
+  if (result.num_questions > 0) {
+    double n = double(result.num_questions);
+    result.avg_timings.qu_ms = total.qu_ms / n;
+    result.avg_timings.linking_ms = total.linking_ms / n;
+    result.avg_timings.execution_ms = total.execution_ms / n;
+  }
+  return result;
+}
+
+}  // namespace kgqan::eval

@@ -1,0 +1,46 @@
+// Evaluation runner: drives a QA system over a benchmark, producing the
+// aggregates every table/figure harness consumes — macro P/R/F1 (Table 3),
+// per-phase response times (Fig. 7), failure counts split by cause
+// (Fig. 8), and the Table 5 taxonomy of solved questions.
+
+#ifndef KGQAN_EVAL_RUNNER_H_
+#define KGQAN_EVAL_RUNNER_H_
+
+#include <array>
+#include <string>
+
+#include "benchgen/benchmark.h"
+#include "core/qa_interface.h"
+#include "eval/metrics.h"
+
+namespace kgqan::eval {
+
+struct TaxonomyCounts {
+  // Indexed by QueryShape (0 = star, 1 = path).
+  std::array<size_t, 2> total_by_shape{};
+  std::array<size_t, 2> solved_by_shape{};
+  // Indexed by LingClass (single, type, multi, boolean).
+  std::array<size_t, 4> total_by_ling{};
+  std::array<size_t, 4> solved_by_ling{};
+};
+
+struct SystemBenchmarkResult {
+  std::string system;
+  std::string benchmark;
+  size_t num_questions = 0;
+  Prf macro;
+  core::PhaseTimings avg_timings;  // Averages over all questions (ms).
+  size_t failures = 0;      // R = 0 and F1 = 0 (Fig. 8).
+  size_t qu_failures = 0;   // Failures where understanding itself failed.
+  TaxonomyCounts taxonomy;  // Solved = F1 > 0 (Table 5).
+};
+
+// Runs `system` over every question of `bench`.  Pre-processing (if the
+// system needs any) must have been performed by the caller, so that its
+// cost is reported separately (Table 2).
+SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
+                                    benchgen::Benchmark& bench);
+
+}  // namespace kgqan::eval
+
+#endif  // KGQAN_EVAL_RUNNER_H_

@@ -1,0 +1,210 @@
+#include "nlp/answer_type.h"
+
+#include <algorithm>
+
+#include "nlp/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace kgqan::nlp {
+
+namespace {
+
+struct LabelledQuestion {
+  const char* question;
+  AnswerDataType label;
+};
+
+// Bundled training corpus, modelled on the QALD-9 training annotations the
+// paper's classifier is trained on: a spread of date / numerical / boolean
+// / string questions across domains.
+constexpr LabelledQuestion kCorpus[] = {
+    // Dates.
+    {"When was Barack Obama born", AnswerDataType::kDate},
+    {"When did World War II end", AnswerDataType::kDate},
+    {"When was the University of Toronto founded", AnswerDataType::kDate},
+    {"What is the birth date of Marie Curie", AnswerDataType::kDate},
+    {"When did Alan Turing die", AnswerDataType::kDate},
+    {"On which date was the treaty signed", AnswerDataType::kDate},
+    {"When was the paper on transactions published", AnswerDataType::kDate},
+    {"In which year was Ada Lovelace born", AnswerDataType::kDate},
+    {"When was the Eiffel Tower built", AnswerDataType::kDate},
+    {"What year did the company go public", AnswerDataType::kDate},
+    {"When did the author win the award", AnswerDataType::kDate},
+    {"When was the film released", AnswerDataType::kDate},
+    // Numerical.
+    {"How many people live in Berlin", AnswerDataType::kNumerical},
+    {"What is the population of Canada", AnswerDataType::kNumerical},
+    {"How many papers did Jim Gray write", AnswerDataType::kNumerical},
+    {"How many citations does the paper have", AnswerDataType::kNumerical},
+    {"What is the elevation of Mount Everest", AnswerDataType::kNumerical},
+    {"How many students attend the university", AnswerDataType::kNumerical},
+    {"What is the area of France", AnswerDataType::kNumerical},
+    {"How much does the building weigh", AnswerDataType::kNumerical},
+    {"What is the length of the Nile", AnswerDataType::kNumerical},
+    {"How many children did the queen have", AnswerDataType::kNumerical},
+    {"What is the height of the tower", AnswerDataType::kNumerical},
+    {"How many languages are spoken in India", AnswerDataType::kNumerical},
+    // Boolean.
+    {"Is Berlin the capital of Germany", AnswerDataType::kBoolean},
+    {"Did Alan Turing study at Princeton", AnswerDataType::kBoolean},
+    {"Was Marie Curie born in Poland", AnswerDataType::kBoolean},
+    {"Does the river flow into the Baltic Sea", AnswerDataType::kBoolean},
+    {"Is the paper published in SIGMOD", AnswerDataType::kBoolean},
+    {"Did the author win a Turing Award", AnswerDataType::kBoolean},
+    {"Are there mountains in Denmark", AnswerDataType::kBoolean},
+    {"Was the film directed by Kubrick", AnswerDataType::kBoolean},
+    {"Is the company based in Seattle", AnswerDataType::kBoolean},
+    {"Did the two researchers collaborate", AnswerDataType::kBoolean},
+    // Strings (entities and literals).
+    {"Name the sea into which the Danish Straits flows",
+     AnswerDataType::kString},
+    {"Who is the spouse of Barack Obama", AnswerDataType::kString},
+    {"Which city is the capital of Australia", AnswerDataType::kString},
+    {"Who wrote the book War and Peace", AnswerDataType::kString},
+    {"Which university did the scientist attend", AnswerDataType::kString},
+    {"Who directed the film Vertigo", AnswerDataType::kString},
+    {"What is the capital of Cameroon", AnswerDataType::kString},
+    {"Which venue published the paper", AnswerDataType::kString},
+    {"Who advised the doctoral student", AnswerDataType::kString},
+    {"Which country does the river cross", AnswerDataType::kString},
+    {"List the authors of the paper", AnswerDataType::kString},
+    {"Give me all actors starring in the movie", AnswerDataType::kString},
+    {"What language is spoken in Brazil", AnswerDataType::kString},
+    {"Which mountain is the highest in Europe", AnswerDataType::kString},
+    {"Who founded the company", AnswerDataType::kString},
+    {"Where was the author born", AnswerDataType::kString},
+    {"Where is the headquarters of the firm", AnswerDataType::kString},
+    {"Which field does the researcher work in", AnswerDataType::kString},
+};
+
+}  // namespace
+
+const char* AnswerDataTypeName(AnswerDataType type) {
+  switch (type) {
+    case AnswerDataType::kDate:
+      return "date";
+    case AnswerDataType::kNumerical:
+      return "numerical";
+    case AnswerDataType::kBoolean:
+      return "boolean";
+    case AnswerDataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> AnswerTypeClassifier::Features(
+    std::string_view question) {
+  std::vector<std::string> tokens = text::Tokenize(question);
+  std::vector<std::string> features;
+  features.push_back("bias");
+  if (!tokens.empty()) features.push_back("first=" + tokens[0]);
+  if (tokens.size() >= 2) {
+    features.push_back("second=" + tokens[1]);
+    features.push_back("bigram=" + tokens[0] + "_" + tokens[1]);
+  }
+  auto has = [&](std::string_view w) {
+    return std::find(tokens.begin(), tokens.end(), w) != tokens.end();
+  };
+  if (has("how") && (has("many") || has("much"))) {
+    features.push_back("has:how_many");
+  }
+  if (has("when")) features.push_back("has:when");
+  if (has("year") || has("date")) features.push_back("has:year_or_date");
+  if (has("population") || has("number") || has("count") ||
+      has("citations") || has("elevation") || has("area") ||
+      has("length") || has("height")) {
+    features.push_back("has:quantity_noun");
+  }
+  if (!tokens.empty() &&
+      (tokens[0] == "is" || tokens[0] == "are" || tokens[0] == "was" ||
+       tokens[0] == "were" || tokens[0] == "did" || tokens[0] == "does" ||
+       tokens[0] == "do" || tokens[0] == "has" || tokens[0] == "have")) {
+    features.push_back("starts:aux");
+  }
+  return features;
+}
+
+AnswerTypeClassifier::AnswerTypeClassifier() { Train(); }
+
+void AnswerTypeClassifier::Train() {
+  // Averaged multi-class perceptron: the averaged weight vector is far
+  // more stable on unseen inputs than the last iterate.
+  constexpr int kMaxEpochs = 100;
+  std::unordered_map<std::string, std::array<double, 4>> current;
+  std::unordered_map<std::string, std::array<double, 4>> totals;
+  size_t steps = 0;
+  auto predict_scores = [&](const std::vector<std::string>& feats) {
+    std::array<double, 4> scores{};
+    for (const std::string& f : feats) {
+      auto it = current.find(f);
+      if (it == current.end()) continue;
+      for (int c = 0; c < 4; ++c) scores[c] += it->second[c];
+    }
+    return scores;
+  };
+  for (int epoch = 0; epoch < kMaxEpochs; ++epoch) {
+    int errors = 0;
+    for (const LabelledQuestion& ex : kCorpus) {
+      std::vector<std::string> feats = Features(ex.question);
+      std::array<double, 4> scores = predict_scores(feats);
+      int best = 0;
+      for (int c = 1; c < 4; ++c) {
+        if (scores[c] > scores[best]) best = c;
+      }
+      int truth = static_cast<int>(ex.label);
+      if (best != truth) {
+        ++errors;
+        for (const std::string& f : feats) {
+          current[f][truth] += 1.0;
+          current[f][best] -= 1.0;
+        }
+      }
+      // Accumulate the running iterate (averaging).
+      ++steps;
+      for (const auto& [f, w] : current) {
+        auto& tot = totals[f];
+        for (int c = 0; c < 4; ++c) tot[c] += w[c];
+      }
+    }
+    if (errors == 0) break;
+  }
+  weights_.clear();
+  for (const auto& [f, tot] : totals) {
+    auto& w = weights_[f];
+    for (int c = 0; c < 4; ++c) {
+      w[c] = tot[c] / static_cast<double>(steps);
+    }
+  }
+  // Training accuracy on the corpus.
+  int correct = 0;
+  int total = 0;
+  for (const LabelledQuestion& ex : kCorpus) {
+    AnswerTypePrediction pred = Predict(ex.question);
+    if (pred.data_type == ex.label) ++correct;
+    ++total;
+  }
+  training_accuracy_ = total == 0 ? 0.0 : double(correct) / double(total);
+}
+
+AnswerTypePrediction AnswerTypeClassifier::Predict(
+    std::string_view question) const {
+  std::array<double, 4> scores{};
+  for (const std::string& f : Features(question)) {
+    auto it = weights_.find(f);
+    if (it == weights_.end()) continue;
+    for (int c = 0; c < 4; ++c) scores[c] += it->second[c];
+  }
+  int best = 3;  // Default to string on a total tie.
+  for (int c = 0; c < 4; ++c) {
+    if (scores[c] > scores[best]) best = c;
+  }
+  AnswerTypePrediction pred;
+  pred.data_type = static_cast<AnswerDataType>(best);
+  if (pred.data_type == AnswerDataType::kString) {
+    pred.semantic_type = FirstNoun(question);
+  }
+  return pred;
+}
+
+}  // namespace kgqan::nlp

@@ -1,0 +1,57 @@
+// Expected-answer-type prediction (Sec. 4.3).
+//
+// The paper trains a three-layer neural network on QALD-9's annotated
+// training questions to classify the expected answer data type into
+// {date, numerical, boolean, string}.  We reproduce the component with an
+// averaged multi-class perceptron trained at construction time on a
+// bundled labelled question corpus — same I/O contract, same accuracy
+// class, fully deterministic.  For string answers the semantic type is the
+// first noun of the question (see pos_tagger.h).
+
+#ifndef KGQAN_NLP_ANSWER_TYPE_H_
+#define KGQAN_NLP_ANSWER_TYPE_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kgqan::nlp {
+
+enum class AnswerDataType { kDate = 0, kNumerical, kBoolean, kString };
+
+const char* AnswerDataTypeName(AnswerDataType type);
+
+// Predicted answer type: data type, plus semantic type for strings.
+struct AnswerTypePrediction {
+  AnswerDataType data_type = AnswerDataType::kString;
+  std::string semantic_type;  // Only meaningful when data_type == kString.
+};
+
+class AnswerTypeClassifier {
+ public:
+  // Trains the perceptron on the bundled corpus (fast, deterministic).
+  AnswerTypeClassifier();
+
+  // Predicts data type and (for strings) semantic type of `question`.
+  AnswerTypePrediction Predict(std::string_view question) const;
+
+  // Feature extraction, exposed for tests: lexical features over the first
+  // tokens plus indicator features ("has:how_many", "has:when", ...).
+  static std::vector<std::string> Features(std::string_view question);
+
+  // Fraction of the bundled training corpus classified correctly after
+  // training (sanity metric; ~1.0 because the corpus is separable).
+  double training_accuracy() const { return training_accuracy_; }
+
+ private:
+  void Train();
+
+  std::unordered_map<std::string, std::array<double, 4>> weights_;
+  double training_accuracy_ = 0.0;
+};
+
+}  // namespace kgqan::nlp
+
+#endif  // KGQAN_NLP_ANSWER_TYPE_H_

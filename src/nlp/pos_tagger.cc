@@ -1,0 +1,87 @@
+#include "nlp/pos_tagger.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "text/tokenizer.h"
+
+namespace kgqan::nlp {
+
+namespace {
+
+bool InList(std::string_view token, const auto& list) {
+  return std::find(list.begin(), list.end(), token) != list.end();
+}
+
+constexpr std::array<std::string_view, 8> kWhWords = {
+    "what", "which", "who", "whom", "whose", "when", "where", "how"};
+
+constexpr std::array<std::string_view, 14> kAuxWords = {
+    "is",  "are", "was", "were", "be",   "been", "do",
+    "did", "does", "has", "have", "had",  "can",  "will"};
+
+constexpr std::array<std::string_view, 8> kDeterminers = {
+    "the", "a", "an", "this", "that", "these", "all", "every"};
+
+constexpr std::array<std::string_view, 14> kPrepositions = {
+    "of",   "in",   "on", "at",   "by",  "for", "with",
+    "from", "into", "to", "onto", "as",  "about", "through"};
+
+constexpr std::array<std::string_view, 8> kPronouns = {
+    "it", "he", "she", "they", "i", "you", "we", "me"};
+
+constexpr std::array<std::string_view, 7> kImperatives = {
+    "name", "give", "list", "show", "tell", "find", "count"};
+
+// Open-class verbs that appear in QA phrasing.  Participles like "born" and
+// "married" are listed so they never win the first-noun heuristic.
+constexpr std::array<std::string_view, 37> kCommonVerbs = {
+    "flows",    "flow",      "wrote",     "written",  "directed",
+    "married",  "born",      "died",      "founded",  "starred",
+    "stars",    "starring",  "lives",     "live",     "works",   "work",
+    "published", "cited",    "won",       "located",  "situated",
+    "graduated", "studied",  "advised",   "appeared", "created",
+    "made",     "called",    "known",     "start",    "started",
+    "begin",    "crosses",   "belongs",   "speak",    "speaks",
+    "authored"};
+
+}  // namespace
+
+PosTag PosTagger::Tag(std::string_view token) const {
+  if (token.empty()) return PosTag::kOther;
+  if (std::isdigit(static_cast<unsigned char>(token[0]))) {
+    return PosTag::kNumber;
+  }
+  if (InList(token, kWhWords)) return PosTag::kWh;
+  if (InList(token, kAuxWords)) return PosTag::kAux;
+  if (InList(token, kDeterminers)) return PosTag::kDeterminer;
+  if (InList(token, kPrepositions)) return PosTag::kPreposition;
+  if (InList(token, kPronouns)) return PosTag::kPronoun;
+  if (InList(token, kImperatives)) return PosTag::kImperative;
+  if (InList(token, kCommonVerbs)) return PosTag::kVerb;
+  if (token == "and" || token == "or" || token == "many" || token == "much") {
+    return PosTag::kOther;
+  }
+  return PosTag::kNoun;
+}
+
+std::vector<std::pair<std::string, PosTag>> PosTagger::TagSentence(
+    std::string_view sentence) const {
+  std::vector<std::pair<std::string, PosTag>> out;
+  for (std::string& tok : text::Tokenize(sentence)) {
+    PosTag tag = Tag(tok);
+    out.emplace_back(std::move(tok), tag);
+  }
+  return out;
+}
+
+std::string FirstNoun(std::string_view question) {
+  PosTagger tagger;
+  for (auto& [token, tag] : tagger.TagSentence(question)) {
+    if (tag == PosTag::kNoun) return token;
+  }
+  return "entity";
+}
+
+}  // namespace kgqan::nlp

@@ -1,0 +1,46 @@
+// Lightweight part-of-speech tagging: closed-class lexicons plus suffix
+// heuristics, defaulting to noun.  Stands in for the AllenNLP constituency
+// parser the paper uses only to implement the "first noun = semantic type"
+// heuristic of Sec. 4.3.
+
+#ifndef KGQAN_NLP_POS_TAGGER_H_
+#define KGQAN_NLP_POS_TAGGER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgqan::nlp {
+
+enum class PosTag {
+  kNoun,
+  kVerb,
+  kDeterminer,
+  kPreposition,
+  kPronoun,
+  kWh,       // what / which / who / when / where / how
+  kAux,      // is / are / was / did / does / has ...
+  kNumber,
+  kImperative,  // name / give / list / show / tell (question openers)
+  kOther,
+};
+
+class PosTagger {
+ public:
+  PosTagger() = default;
+
+  // Tags a single lower-case token.
+  PosTag Tag(std::string_view token) const;
+
+  // Tags every token of `sentence` (tokenized internally).
+  std::vector<std::pair<std::string, PosTag>> TagSentence(
+      std::string_view sentence) const;
+};
+
+// The Sec. 4.3 heuristic: the first noun of the question is the expected
+// semantic type of the answer.  Returns "entity" if no noun is found.
+std::string FirstNoun(std::string_view question);
+
+}  // namespace kgqan::nlp
+
+#endif  // KGQAN_NLP_POS_TAGGER_H_

@@ -1,0 +1,231 @@
+#include "qu/annotated_corpus.h"
+
+namespace kgqan::qu {
+
+namespace {
+
+// Shorthand builders for readable corpus entries.
+PhraseEntity U(int var_id, std::string label) {
+  return Unknown(var_id, std::move(label));
+}
+PhraseEntity E(std::string label) { return EntityPhrase(std::move(label)); }
+PhraseTriple T(PhraseEntity a, std::string rel, PhraseEntity b) {
+  PhraseTriple t;
+  t.a = std::move(a);
+  t.relation = std::move(rel);
+  t.b = std::move(b);
+  return t;
+}
+
+std::vector<AnnotatedQuestion> BuildCorpus() {
+  std::vector<AnnotatedQuestion> corpus;
+  auto add = [&](std::string q, TriplePatterns gold) {
+    corpus.push_back({std::move(q), std::move(gold)});
+  };
+
+  // --- Single fact, noun relation ("the R of E"). ---
+  add("Who is the spouse of Barack Obama?",
+      {T(U(1, "person"), "spouse", E("Barack Obama"))});
+  add("What is the capital of Cameroon?",
+      {T(U(1, "entity"), "capital", E("Cameroon"))});
+  add("What is the population of Berlin?",
+      {T(U(1, "entity"), "population", E("Berlin"))});
+  add("What is the elevation of Mount Everest?",
+      {T(U(1, "entity"), "elevation", E("Mount Everest"))});
+  add("Who is the mayor of Rotterdam?",
+      {T(U(1, "person"), "mayor", E("Rotterdam"))});
+  add("What is the currency of Japan?",
+      {T(U(1, "entity"), "currency", E("Japan"))});
+
+  // --- Single fact, verb relation. ---
+  add("Who wrote the book \"War and Peace\"?",
+      {T(U(1, "person"), "wrote", E("War and Peace"))});
+  add("Who directed the film \"Vertigo\"?",
+      {T(U(1, "person"), "directed", E("Vertigo"))});
+  add("Who founded Microsoft?",
+      {T(U(1, "person"), "founded", E("Microsoft"))});
+  add("Where was Marie Curie born?",
+      {T(U(1, "place"), "born", E("Marie Curie"))});
+  add("When did Albert Einstein die?",
+      {T(U(1, "date"), "die", E("Albert Einstein"))});
+  add("When was Alan Turing born?",
+      {T(U(1, "date"), "born", E("Alan Turing"))});
+
+  // --- Single fact with type. ---
+  add("Which sea does the Danish Straits flow into?",
+      {T(U(1, "sea"), "flow", E("Danish Straits"))});
+  add("Which river crosses Paris?",
+      {T(U(1, "river"), "crosses", E("Paris"))});
+  add("Which university did Alan Turing attend?",
+      {T(U(1, "university"), "attend", E("Alan Turing"))});
+  add("Which language is spoken in Brazil?",
+      {T(U(1, "language"), "spoken", E("Brazil"))});
+  add("Which venue published the paper \"The Transaction Concept\"?",
+      {T(U(1, "venue"), "published", E("The Transaction Concept"))});
+  add("Which institution is John McCarthy affiliated with?",
+      {T(U(1, "institution"), "affiliated", E("John McCarthy"))});
+
+  // --- Imperative openers. ---
+  add("Name the sea into which Danish Straits flows and has Kaliningrad "
+      "as one of the city on the shore.",
+      {T(U(1, "sea"), "flows", E("Danish Straits")),
+       T(U(1, "sea"), "city shore", E("Kaliningrad"))});
+  add("List the authors of the paper \"A Relational Model of Data\".",
+      {T(U(1, "authors"), "authors", E("A Relational Model of Data"))});
+  add("Give me all actors starring in the movie \"Casablanca\".",
+      {T(U(1, "actors"), "starring", E("Casablanca"))});
+  add("Name the wife of Abraham Lincoln.",
+      {T(U(1, "wife"), "wife", E("Abraham Lincoln"))});
+
+  // --- Noun-phrase relations (no curated rules, as Sec. 4.1.2 stresses).
+  add("What is the birth place of Frida Kahlo?",
+      {T(U(1, "entity"), "birth place", E("Frida Kahlo"))});
+  add("Which city is the nearest city of the Baltic Sea?",
+      {T(U(1, "city"), "nearest city", E("Baltic Sea"))});
+  add("What is the alma mater of Grace Hopper?",
+      {T(U(1, "entity"), "alma mater", E("Grace Hopper"))});
+
+  // --- How many (numerical). ---
+  add("How many citations does the paper \"System R\" have?",
+      {T(U(1, "number"), "citations", E("System R"))});
+  add("How many people live in Tokyo?",
+      {T(U(1, "number"), "people live", E("Tokyo"))});
+
+  // --- Multi fact (star with two triples). ---
+  add("Which person is the spouse of Angela Merkel and was born in "
+      "Hamburg?",
+      {T(U(1, "person"), "spouse", E("Angela Merkel")),
+       T(U(1, "person"), "born", E("Hamburg"))});
+  add("Which film was directed by Stanley Kubrick and starred Tom Cruise?",
+      {T(U(1, "film"), "directed", E("Stanley Kubrick")),
+       T(U(1, "film"), "starred", E("Tom Cruise"))});
+
+  // --- Path (chained triples with an intermediate unknown). ---
+  add("Who is the mayor of the capital of France?",
+      {T(U(1, "person"), "mayor", U(2, "intermediate")),
+       T(U(2, "intermediate"), "capital", E("France"))});
+  add("Who is the spouse of the president of Iceland?",
+      {T(U(1, "person"), "spouse", U(2, "intermediate")),
+       T(U(2, "intermediate"), "president", E("Iceland"))});
+  add("What is the population of the capital of Australia?",
+      {T(U(1, "entity"), "population", U(2, "intermediate")),
+       T(U(2, "intermediate"), "capital", E("Australia"))});
+
+  // --- Boolean. ---
+  add("Is Berlin the capital of Germany?",
+      {T(E("Berlin"), "capital", E("Germany"))});
+  add("Did Alan Turing study at Princeton University?",
+      {T(E("Alan Turing"), "study", E("Princeton University"))});
+  add("Was the film \"Vertigo\" directed by Alfred Hitchcock?",
+      {T(E("Vertigo"), "directed", E("Alfred Hitchcock"))});
+  add("Does the Rhine flow into the North Sea?",
+      {T(E("Rhine"), "flow", E("North Sea"))});
+
+  // --- Entities whose names embed "of" (bridged spans). ---
+  add("Who is the president of the University of Toronto?",
+      {T(U(1, "person"), "president", E("University of Toronto"))});
+
+  // --- Scholarly phrasing. ---
+  add("Who advised Barbara Liskov?",
+      {T(U(1, "person"), "advised", E("Barbara Liskov"))});
+  add("Which field does Donald Knuth work in?",
+      {T(U(1, "field"), "work", E("Donald Knuth"))});
+  add("Who collaborated with Jim Gray?",
+      {T(U(1, "person"), "collaborated", E("Jim Gray"))});
+
+  // --- Second annotation round: broader syntactic coverage. ---
+  add("What is the official language of Veltania?",
+      {T(U(1, "entity"), "official language", E("Veltania"))});
+  add("Who is the founder of Miren Systems?",
+      {T(U(1, "person"), "founder", E("Miren Systems"))});
+  add("Does the Rhine cross Basel?", {T(E("Rhine"), "cross", E("Basel"))});
+  add("Was Alice Weber born in Morvik?",
+      {T(E("Alice Weber"), "born", E("Morvik"))});
+  add("How many pages does the paper \"On the Indexing of Caching\" have?",
+      {T(U(1, "number"), "pages", E("On the Indexing of Caching"))});
+  add("Show me the mayor of Morvik.",
+      {T(U(1, "mayor"), "mayor", E("Morvik"))});
+  add("Find the birth place of Alice Weber.",
+      {T(U(1, "entity"), "birth place", E("Alice Weber"))});
+  add("Tell me the capital of Veltania.",
+      {T(U(1, "capital"), "capital", E("Veltania"))});
+  add("Which company was founded by Alice Weber and has its headquarters "
+      "in Morvik?",
+      {T(U(1, "company"), "founded", E("Alice Weber")),
+       T(U(1, "company"), "headquarters", E("Morvik"))});
+  add("What is the currency of the country of Morvik?",
+      {T(U(1, "entity"), "currency", U(2, "intermediate")),
+       T(U(2, "intermediate"), "country", E("Morvik"))});
+  add("Who wrote the paper 'Adaptive Caching for Robust Storage Systems'?",
+      {T(U(1, "person"), "wrote",
+         E("Adaptive Caching for Robust Storage Systems"))});
+  add("Who are the actors starring in \"Return to Velta\"?",
+      {T(U(1, "person"), "actors starring", E("Return to Velta"))});
+  add("When was Miren Systems established?",
+      {T(U(1, "date"), "established", E("Miren Systems"))});
+  add("Where is Miren Systems headquartered?",
+      {T(U(1, "place"), "headquartered", E("Miren Systems"))});
+  add("Which river flows into the Gulf of Berk?",
+      {T(U(1, "river"), "flows", E("Gulf of Berk"))});
+  add("What is the length of the river Velta?",
+      {T(U(1, "entity"), "length", E("Velta"))});
+  add("What currency does Veltania use?",
+      {T(U(1, "currency"), "use", E("Veltania"))});
+  add("Which mountain is part of the Berk Mountains?",
+      {T(U(1, "mountain"), "part", E("Berk Mountains"))});
+  add("Who advised the author of \"Robust Indexing with Sampling "
+      "Guarantees\"?",
+      {T(U(1, "person"), "advised author",
+         E("Robust Indexing with Sampling Guarantees"))});
+  add("Is Morvik the largest city of Veltania?",
+      {T(E("Morvik"), "largest city", E("Veltania"))});
+  add("List all films directed by Alice Weber.",
+      {T(U(1, "films"), "directed", E("Alice Weber"))});
+  add("Give me all books written by Alice Weber.",
+      {T(U(1, "books"), "written", E("Alice Weber"))});
+  add("How many inhabitants does Morvik have?",
+      {T(U(1, "number"), "inhabitants", E("Morvik"))});
+  add("Who did Alice Weber marry?",
+      {T(U(1, "person"), "marry", E("Alice Weber"))});
+  add("Tell me where Alice Weber was born.",
+      {T(U(1, "entity"), "born", E("Alice Weber"))});
+  add("Who currently leads Morvik?",
+      {T(U(1, "person"), "currently leads", E("Morvik"))});
+  add("Which paper was written by Alice B. Weber and published in KWRTX?",
+      {T(U(1, "paper"), "written", E("Alice B Weber")),
+       T(U(1, "paper"), "published", E("KWRTX"))});
+  add("Name the death place of Alice Weber.",
+      {T(U(1, "entity"), "death place", E("Alice Weber"))});
+  add("Give me the birth date of Alice Weber.",
+      {T(U(1, "entity"), "birth date", E("Alice Weber"))});
+  add("Name the language spoken in Veltania.",
+      {T(U(1, "entity"), "language spoken", E("Veltania"))});
+  add("Name the university that Alice Weber attended.",
+      {T(U(1, "university"), "attended", E("Alice Weber"))});
+  add("Name the city that Velta crosses.",
+      {T(U(1, "city"), "crosses", E("Velta"))});
+  add("Where does Karim Weber work?",
+      {T(U(1, "place"), "work", E("Karim Weber"))});
+  add("What is the field of study of the paper \"Ranking-Aware "
+      "Serialization\"?",
+      {T(U(1, "entity"), "field study", E("Ranking-Aware Serialization"))});
+  add("Which institution is the affiliation of the author of "
+      "\"Sampling-Aware Transaction\"?",
+      {T(U(1, "institution"), "affiliation", U(2, "intermediate")),
+       T(U(2, "intermediate"), "author", E("Sampling-Aware Transaction"))});
+  add("What is the alma mater of the mayor of Veltania?",
+      {T(U(1, "entity"), "alma mater", U(2, "intermediate")),
+       T(U(2, "intermediate"), "mayor", E("Veltania"))});
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<AnnotatedQuestion>& TrainingCorpus() {
+  static const std::vector<AnnotatedQuestion>* kCorpus =
+      new std::vector<AnnotatedQuestion>(BuildCorpus());
+  return *kCorpus;
+}
+
+}  // namespace kgqan::qu

@@ -1,0 +1,32 @@
+// Bundled annotated question corpus (Sec. 4.1.2).
+//
+// The paper trains its Seq2Seq model on 1,752 questions from the LC-QuAD
+// 1.0 and QALD-9 training splits, each annotated with its phrase triple
+// patterns.  This corpus reproduces that artifact in miniature: a spread
+// of question forms (single fact, fact with type, multi-fact, path,
+// boolean; named entities, entity mentions, verb / verb+adverb /
+// noun-phrase relations) with gold TP(q) annotations.  It serves both as
+// the specification the simulated Seq2Seq extractor must realize
+// (TriplePatternGenerator::CorpusFit) and as test data.
+
+#ifndef KGQAN_QU_ANNOTATED_CORPUS_H_
+#define KGQAN_QU_ANNOTATED_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "qu/phrase_triple.h"
+
+namespace kgqan::qu {
+
+struct AnnotatedQuestion {
+  std::string question;
+  TriplePatterns gold;
+};
+
+// The bundled corpus; built once, returned by reference thereafter.
+const std::vector<AnnotatedQuestion>& TrainingCorpus();
+
+}  // namespace kgqan::qu
+
+#endif  // KGQAN_QU_ANNOTATED_CORPUS_H_

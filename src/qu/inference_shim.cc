@@ -1,0 +1,89 @@
+#include "qu/inference_shim.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace kgqan::qu {
+
+InferenceShim::InferenceShim(const Config& config) : config_(config) {
+  if (!config_.enabled) return;
+  util::Rng rng(0x5EEDBA5Eu);
+  const size_t d = static_cast<size_t>(config_.model_dim);
+  const size_t f = static_cast<size_t>(config_.ffn_dim);
+  w_in_.resize(d * f);
+  w_out_.resize(f * d);
+  for (float& w : w_in_) {
+    w = static_cast<float>(rng.Gaussian(0.0, 0.05));
+  }
+  for (float& w : w_out_) {
+    w = static_cast<float>(rng.Gaussian(0.0, 0.05));
+  }
+}
+
+double InferenceShim::Run(size_t num_tokens) const {
+  if (!config_.enabled) return 0.0;
+  const size_t L = num_tokens == 0 ? 1 : num_tokens;
+  const size_t d = static_cast<size_t>(config_.model_dim);
+  const size_t f = static_cast<size_t>(config_.ffn_dim);
+
+  // Position-seeded token activations.
+  std::vector<float> x(L * d);
+  for (size_t i = 0; i < L; ++i) {
+    uint64_t seed = 0x1234ABCDu + i;
+    for (size_t j = 0; j < d; ++j) {
+      x[i * d + j] = static_cast<float>(
+          (double(util::SplitMix64(seed) >> 11) / 9007199254740992.0) - 0.5);
+    }
+  }
+
+  std::vector<float> scores(L * L);
+  std::vector<float> attn(L * d);
+  std::vector<float> hidden(f);
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    // Self-attention: scores = X X^T, softmax per row, attn = S X.
+    for (size_t i = 0; i < L; ++i) {
+      float row_max = -1e30f;
+      for (size_t j = 0; j < L; ++j) {
+        float s = 0.0f;
+        for (size_t k = 0; k < d; ++k) s += x[i * d + k] * x[j * d + k];
+        scores[i * L + j] = s / std::sqrt(float(d));
+        row_max = std::max(row_max, scores[i * L + j]);
+      }
+      float denom = 0.0f;
+      for (size_t j = 0; j < L; ++j) {
+        scores[i * L + j] = std::exp(scores[i * L + j] - row_max);
+        denom += scores[i * L + j];
+      }
+      for (size_t k = 0; k < d; ++k) {
+        float acc = 0.0f;
+        for (size_t j = 0; j < L; ++j) {
+          acc += scores[i * L + j] * x[j * d + k];
+        }
+        attn[i * d + k] = acc / denom;
+      }
+    }
+    // Feed-forward per token with residual connection.
+    for (size_t i = 0; i < L; ++i) {
+      for (size_t h = 0; h < f; ++h) {
+        float acc = 0.0f;
+        for (size_t k = 0; k < d; ++k) {
+          acc += attn[i * d + k] * w_in_[k * f + h];
+        }
+        hidden[h] = acc > 0.0f ? acc : 0.0f;  // ReLU
+      }
+      for (size_t k = 0; k < d; ++k) {
+        float acc = 0.0f;
+        for (size_t h = 0; h < f; ++h) {
+          acc += hidden[h] * w_out_[h * d + k];
+        }
+        x[i * d + k] = 0.5f * x[i * d + k] + acc;
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (float v : x) checksum += v;
+  return checksum;
+}
+
+}  // namespace kgqan::qu

@@ -1,0 +1,46 @@
+// Toy transformer forward pass used to give question understanding a
+// realistic, question-length-dependent inference cost.
+//
+// The paper's QU step runs a fine-tuned BART model, whose inference time
+// dominates KGQAn's response time (Figure 7).  Our extractor replaces the
+// network's *function*; this shim reproduces its *cost profile* by
+// actually executing the attention + feed-forward arithmetic of a small
+// fixed-weight encoder over the question tokens.  Disable it (enabled =
+// false) in unit tests where wall time is irrelevant.
+
+#ifndef KGQAN_QU_INFERENCE_SHIM_H_
+#define KGQAN_QU_INFERENCE_SHIM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kgqan::qu {
+
+class InferenceShim {
+ public:
+  struct Config {
+    bool enabled = true;
+    int model_dim = 224;
+    int ffn_dim = 640;
+    int num_layers = 4;
+  };
+
+  explicit InferenceShim(const Config& config);
+
+  // Runs one forward pass over a sequence of `num_tokens` tokens and
+  // returns an activation checksum (returned so the computation cannot be
+  // optimized away; the value itself is meaningless).
+  double Run(size_t num_tokens) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  // Fixed pseudo-random projection weights shared by all layers.
+  std::vector<float> w_in_;   // model_dim x ffn_dim
+  std::vector<float> w_out_;  // ffn_dim x model_dim
+};
+
+}  // namespace kgqan::qu
+
+#endif  // KGQAN_QU_INFERENCE_SHIM_H_

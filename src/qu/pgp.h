@@ -1,0 +1,63 @@
+// Phrase Graph Pattern (Def. 4.2): the undirected graph over phrase triple
+// patterns that represents KGQAn's formal understanding of a question,
+// independent of any knowledge graph.
+
+#ifndef KGQAN_QU_PGP_H_
+#define KGQAN_QU_PGP_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qu/phrase_triple.h"
+
+namespace kgqan::qu {
+
+class Pgp {
+ public:
+  struct Node {
+    std::string label;
+    bool is_unknown = false;
+    int var_id = 0;  // Meaningful only for unknowns; 1 = main unknown.
+  };
+
+  // Undirected edge between nodes a and b, labelled with a relation phrase.
+  struct Edge {
+    std::string label;
+    size_t a = 0;
+    size_t b = 0;
+  };
+
+  // Builds the graph: entity nodes are merged by label, unknowns by var_id
+  // (Def. 4.2).
+  static Pgp Build(const TriplePatterns& triples);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Index of the main unknown (var_id == 1), if the question has one;
+  // boolean questions have none.
+  std::optional<size_t> MainUnknown() const;
+
+  // True if the PGP has no unknowns (boolean / ASK questions).
+  bool IsBoolean() const { return !MainUnknown().has_value(); }
+
+  // Shape classification used by the Table 5 taxonomy: a path PGP has an
+  // edge whose endpoints are both unknowns (chained triples); otherwise it
+  // is a star.
+  bool IsPath() const;
+
+  // Human-readable one-line rendering for logs and tests.
+  std::string DebugString() const;
+
+ private:
+  size_t InternNode(const PhraseEntity& entity);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace kgqan::qu
+
+#endif  // KGQAN_QU_PGP_H_

@@ -1,0 +1,44 @@
+#include "qu/phrase_triple.h"
+
+namespace kgqan::qu {
+
+PhraseEntity EntityPhrase(std::string label) {
+  PhraseEntity e;
+  e.label = std::move(label);
+  return e;
+}
+
+PhraseEntity Unknown(int var_id, std::string label) {
+  PhraseEntity e;
+  e.label = std::move(label);
+  e.is_variable = true;
+  e.var_id = var_id;
+  return e;
+}
+
+namespace {
+
+std::string RenderEntity(const char* role, const PhraseEntity& e) {
+  std::string out = role;
+  out += "(label=\"" + e.label + "\", category=";
+  out += e.is_variable ? "variable" : "entity";
+  if (e.is_variable) out += ", varID=" + std::to_string(e.var_id);
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string ToAnnotatedText(const TriplePatterns& triples) {
+  std::string out;
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const PhraseTriple& tp = triples[i];
+    if (i > 0) out += ",\n";
+    out += "[Relation(label=\"" + tp.relation + "\"),\n ";
+    out += RenderEntity("EntityA", tp.a) + ",\n ";
+    out += RenderEntity("EntityB", tp.b) + "]";
+  }
+  return out;
+}
+
+}  // namespace kgqan::qu

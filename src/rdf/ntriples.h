@@ -1,0 +1,30 @@
+// N-Triples serialization: line-oriented parser and writer for Graph.
+//
+// Supports the subset of N-Triples produced by ToNTriples(): IRIs, blank
+// nodes, plain / language-tagged / datatyped literals, `\" \\ \n \r \t`
+// escapes, `#` comment lines and blank lines.
+
+#ifndef KGQAN_RDF_NTRIPLES_H_
+#define KGQAN_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace kgqan::rdf {
+
+// Parses N-Triples text into a Graph.
+util::StatusOr<Graph> ParseNTriples(std::string_view text);
+
+// Parses a single N-Triples term starting at `pos` in `line`; advances `pos`
+// past the term.  Exposed for testing.
+util::StatusOr<Term> ParseNTriplesTerm(std::string_view line, size_t& pos);
+
+// Serializes `graph` to N-Triples text (one triple per line).
+std::string WriteNTriples(const Graph& graph);
+
+}  // namespace kgqan::rdf
+
+#endif  // KGQAN_RDF_NTRIPLES_H_

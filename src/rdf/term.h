@@ -1,0 +1,90 @@
+// RDF term model: IRIs, literals (with datatype / language tag) and blank
+// nodes, following the RDF 1.1 abstract syntax.
+
+#ifndef KGQAN_RDF_TERM_H_
+#define KGQAN_RDF_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace kgqan::rdf {
+
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+// A single RDF term.  For kIri, `value` is the IRI string; for kLiteral it
+// is the lexical form (with `datatype` and optional `lang`); for kBlank it
+// is the blank-node label.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string value;
+  std::string datatype;  // Only meaningful for literals; IRI of the datatype.
+  std::string lang;      // Only meaningful for language-tagged literals.
+
+  bool IsIri() const { return kind == TermKind::kIri; }
+  bool IsLiteral() const { return kind == TermKind::kLiteral; }
+  bool IsBlank() const { return kind == TermKind::kBlank; }
+
+  // True for plain/xsd:string literals (the "descriptions" of Sec. 5.1).
+  bool IsStringLiteral() const;
+
+  friend bool operator==(const Term&, const Term&) = default;
+  friend std::strong_ordering operator<=>(const Term&, const Term&) = default;
+};
+
+// Factory helpers.
+Term Iri(std::string iri);
+Term Blank(std::string label);
+// xsd:string literal.
+Term StringLiteral(std::string lexical);
+Term LangLiteral(std::string lexical, std::string lang);
+Term TypedLiteral(std::string lexical, std::string datatype_iri);
+Term IntLiteral(int64_t value);
+Term DoubleLiteral(double value);
+Term BoolLiteral(bool value);
+// xsd:date literal from an ISO "YYYY-MM-DD" string.
+Term DateLiteral(std::string iso_date);
+
+// N-Triples-style rendering, e.g. `<http://x>` or `"abc"@en` or
+// `"4"^^<http://www.w3.org/2001/XMLSchema#integer>`.
+std::string ToNTriples(const Term& term);
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+// Common vocabulary IRIs used by the knowledge graphs and the engine.
+namespace vocab {
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr std::string_view kFoafName = "http://xmlns.com/foaf/0.1/name";
+inline constexpr std::string_view kDcTitle = "http://purl.org/dc/terms/title";
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr std::string_view kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+inline constexpr std::string_view kXsdDate =
+    "http://www.w3.org/2001/XMLSchema#date";
+}  // namespace vocab
+
+// Returns the "local name" of an IRI: the substring after the last '#' or
+// '/'.  E.g. "http://dbpedia.org/ontology/nearestCity" -> "nearestCity".
+std::string_view IriLocalName(std::string_view iri);
+
+// True if the IRI's local name looks human-readable (contains letters and is
+// not predominantly digits) — the isHumanReadable check of Algorithm 2.
+bool IsHumanReadableIri(std::string_view iri);
+
+}  // namespace kgqan::rdf
+
+#endif  // KGQAN_RDF_TERM_H_

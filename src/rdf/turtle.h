@@ -1,0 +1,36 @@
+// Turtle (Terse RDF Triple Language) serialization.
+//
+// Supported subset (the constructs that appear in published KG dumps):
+//   @prefix / PREFIX declarations, @base,
+//   prefixed names and <IRI> references,
+//   the `a` keyword for rdf:type,
+//   predicate lists (`;`) and object lists (`,`),
+//   plain / language-tagged / typed literals, integers, decimals,
+//   booleans, triple-quoted long strings,
+//   labelled (`_:b`) and anonymous (`[]`) blank nodes, and `#` comments.
+// Collections `( ... )` and property lists inside brackets are rejected
+// with a clear error.
+
+#ifndef KGQAN_RDF_TURTLE_H_
+#define KGQAN_RDF_TURTLE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace kgqan::rdf {
+
+// Parses Turtle text into a Graph.
+util::StatusOr<Graph> ParseTurtle(std::string_view text);
+
+// Serializes `graph` as Turtle, compressing with the given prefix map
+// (prefix -> namespace IRI) and grouping triples by subject with `;`/`,`.
+std::string WriteTurtle(const Graph& graph,
+                        const std::map<std::string, std::string>& prefixes);
+
+}  // namespace kgqan::rdf
+
+#endif  // KGQAN_RDF_TURTLE_H_

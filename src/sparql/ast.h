@@ -1,0 +1,149 @@
+// Abstract syntax tree for the SPARQL subset understood by the engine.
+//
+// Supported surface:
+//   PREFIX pfx: <iri>
+//   SELECT [DISTINCT] (?v ... | * | (COUNT(DISTINCT? ?v) AS ?alias))
+//     WHERE { ... } [LIMIT n]
+//   ASK { ... }
+// Group graph patterns contain triple patterns, FILTER expressions,
+// OPTIONAL sub-groups, and Virtuoso-style full-text patterns
+// `?d <bif:contains> "expr"`.
+
+#ifndef KGQAN_SPARQL_AST_H_
+#define KGQAN_SPARQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace kgqan::sparql {
+
+// A SPARQL variable, without the leading '?'.
+struct Var {
+  std::string name;
+  friend bool operator==(const Var&, const Var&) = default;
+};
+
+// A triple-pattern component: a concrete RDF term or a variable.
+using TermOrVar = std::variant<rdf::Term, Var>;
+
+inline bool IsVar(const TermOrVar& tv) {
+  return std::holds_alternative<Var>(tv);
+}
+inline const Var& AsVar(const TermOrVar& tv) { return std::get<Var>(tv); }
+inline const rdf::Term& AsTerm(const TermOrVar& tv) {
+  return std::get<rdf::Term>(tv);
+}
+
+struct TriplePattern {
+  TermOrVar s;
+  TermOrVar p;
+  TermOrVar o;
+};
+
+// `?var <bif:contains> "expr"` — answered by the engine's text index.
+struct TextPattern {
+  Var var;
+  std::string expr;
+};
+
+// `VALUES ?var { term ... }` — inline data binding.
+struct InlineValues {
+  Var var;
+  std::vector<rdf::Term> values;
+};
+
+// FILTER expression tree.
+enum class ExprOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kBound,     // BOUND(?v)
+  kVar,       // leaf
+  kConstant,  // leaf
+  // Built-in functions:
+  kRegex,     // REGEX(expr, "pattern") -> boolean
+  kContains,  // CONTAINS(a, b) -> boolean (substring on lexical forms)
+  kStr,       // STR(expr) -> plain string literal
+  kLang,      // LANG(expr) -> language tag as string literal
+  kIsIri,     // isIRI(expr) -> boolean
+  kIsLiteral, // isLITERAL(expr) -> boolean
+};
+
+struct Expr {
+  ExprOp op = ExprOp::kConstant;
+  // Leaves:
+  Var var;            // for kVar / kBound
+  rdf::Term constant; // for kConstant
+  // Children (unary: lhs only).
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+struct GroupGraphPattern {
+  std::vector<TriplePattern> triples;
+  std::vector<TextPattern> text_patterns;
+  std::vector<InlineValues> values;
+  std::vector<Expr> filters;
+  std::vector<GroupGraphPattern> optionals;
+  // Each element is one `{A} UNION {B} UNION ...` block: the alternative
+  // branches whose solutions are concatenated.
+  std::vector<std::vector<GroupGraphPattern>> unions;
+
+  bool Empty() const {
+    return triples.empty() && text_patterns.empty() && values.empty() &&
+           filters.empty() && optionals.empty() && unions.empty();
+  }
+};
+
+// SELECT (<op>(DISTINCT? ?var) AS ?alias).
+struct Aggregate {
+  enum class Op { kCount, kMin, kMax, kSum, kAvg };
+
+  Op op = Op::kCount;
+  bool distinct = false;
+  Var var;
+  Var alias;
+};
+
+// Backwards-compatible name (COUNT was the first supported aggregate).
+using CountAggregate = Aggregate;
+
+// ORDER BY key: ascending by default.
+struct OrderKey {
+  Var var;
+  bool descending = false;
+};
+
+struct Query {
+  enum class Form { kSelect, kAsk };
+
+  Form form = Form::kSelect;
+  bool distinct = false;
+  bool select_all = false;             // SELECT *
+  std::vector<Var> select_vars;        // empty if select_all or aggregate
+  std::vector<Aggregate> aggregates;
+  GroupGraphPattern where;
+  std::vector<OrderKey> order_by;
+  size_t limit = 0;                    // 0 = no limit
+  size_t offset = 0;
+};
+
+// Renders a query back to SPARQL text (used in logs and tests).
+std::string ToSparql(const Query& query);
+std::string ToSparql(const GroupGraphPattern& group, int indent);
+std::string ToSparql(const TermOrVar& tv);
+std::string ToSparql(const Expr& expr);
+
+}  // namespace kgqan::sparql
+
+#endif  // KGQAN_SPARQL_AST_H_

@@ -1,0 +1,39 @@
+#include "sparql/endpoint.h"
+
+#include <array>
+
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+
+namespace kgqan::sparql {
+
+Endpoint::Endpoint(std::string name, rdf::Graph graph)
+    : name_(std::move(name)), store_(std::move(graph)) {
+  text_index_ = std::make_unique<text::TextIndex>(store_);
+}
+
+util::StatusOr<ResultSet> Endpoint::Query(std::string_view sparql) {
+  ++query_count_;
+  KGQAN_ASSIGN_OR_RETURN(sparql::Query query, ParseQuery(sparql));
+  return Evaluate(query, store_, *text_index_, eval_options_);
+}
+
+util::StatusOr<size_t> Endpoint::AddNTriples(std::string_view ntriples) {
+  KGQAN_ASSIGN_OR_RETURN(rdf::Graph delta, rdf::ParseNTriples(ntriples));
+  std::vector<std::array<rdf::Term, 3>> triples;
+  triples.reserve(delta.size());
+  for (const rdf::Triple& t : delta.triples()) {
+    triples.push_back({delta.dictionary().Get(t.s),
+                       delta.dictionary().Get(t.p),
+                       delta.dictionary().Get(t.o)});
+  }
+  size_t added = store_.Insert(triples);
+  if (added > 0) {
+    // The built-in full-text index covers the new literals after a
+    // rebuild, as an RDF engine's background indexer would.
+    text_index_ = std::make_unique<text::TextIndex>(store_);
+  }
+  return added;
+}
+
+}  // namespace kgqan::sparql

@@ -1,0 +1,69 @@
+// SPARQL endpoint facade: the *only* interface KGQAn uses to talk to a
+// knowledge graph, mirroring the publicly accessible HTTP API of Virtuoso /
+// Stardog / Jena endpoints (Figure 2 of the paper).
+//
+// The endpoint owns the triple store and its built-in full-text index, and
+// keeps per-endpoint request statistics used by the response-time
+// experiments (Figure 7).
+
+#ifndef KGQAN_SPARQL_ENDPOINT_H_
+#define KGQAN_SPARQL_ENDPOINT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "sparql/evaluator.h"
+#include "sparql/result_set.h"
+#include "store/triple_store.h"
+#include "text/text_index.h"
+#include "util/status.h"
+
+namespace kgqan::sparql {
+
+class Endpoint {
+ public:
+  // Builds the store and its default full-text index over `graph` —
+  // the standard, unmodified installation of Sec. 7.1.4.
+  Endpoint(std::string name, rdf::Graph graph);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Parses and evaluates a SPARQL request.
+  util::StatusOr<ResultSet> Query(std::string_view sparql);
+
+  // Loads additional data into the KG from N-Triples text (live updates to
+  // the endpoint).  The full-text index is rebuilt; returns the number of
+  // new triples.
+  util::StatusOr<size_t> AddNTriples(std::string_view ntriples);
+
+  // Number of triples in the KG.
+  size_t NumTriples() const { return store_.size(); }
+
+  // Request statistics.
+  size_t query_count() const { return query_count_; }
+  void ResetStats() { query_count_ = 0; }
+
+  // Direct substrate access — for index-building baselines (which, unlike
+  // KGQAn, pre-process the KG) and for tests.  KGQAn itself only calls
+  // Query().
+  const store::TripleStore& store() const { return store_; }
+  const text::TextIndex& text_index() const { return *text_index_; }
+
+  EvalOptions& mutable_eval_options() { return eval_options_; }
+
+ private:
+  std::string name_;
+  store::TripleStore store_;
+  std::unique_ptr<text::TextIndex> text_index_;
+  EvalOptions eval_options_;
+  size_t query_count_ = 0;
+};
+
+}  // namespace kgqan::sparql
+
+#endif  // KGQAN_SPARQL_ENDPOINT_H_

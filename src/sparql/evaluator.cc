@@ -1,0 +1,673 @@
+#include "sparql/evaluator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <regex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace kgqan::sparql {
+
+namespace {
+
+using rdf::kNullTermId;
+using rdf::Term;
+using rdf::TermId;
+using util::Status;
+using util::StatusOr;
+
+// A solution row: slot -> term id (kNullTermId = unbound).
+using Binding = std::vector<TermId>;
+
+// Maps variable names to dense slots across the whole query.
+class SlotMap {
+ public:
+  size_t SlotOf(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    size_t slot = slots_.size();
+    slots_.emplace(name, slot);
+    return slot;
+  }
+  std::optional<size_t> Find(const std::string& name) const {
+    auto it = slots_.find(name);
+    if (it == slots_.end()) return std::nullopt;
+    return it->second;
+  }
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::unordered_map<std::string, size_t> slots_;
+};
+
+void CollectVars(const GroupGraphPattern& group, SlotMap* slots) {
+  auto visit = [&](const TermOrVar& tv) {
+    if (IsVar(tv)) slots->SlotOf(AsVar(tv).name);
+  };
+  for (const TriplePattern& tp : group.triples) {
+    visit(tp.s);
+    visit(tp.p);
+    visit(tp.o);
+  }
+  for (const TextPattern& tp : group.text_patterns) {
+    slots->SlotOf(tp.var.name);
+  }
+  for (const InlineValues& iv : group.values) {
+    slots->SlotOf(iv.var.name);
+  }
+  for (const GroupGraphPattern& opt : group.optionals) {
+    CollectVars(opt, slots);
+  }
+  for (const auto& branches : group.unions) {
+    for (const GroupGraphPattern& branch : branches) {
+      CollectVars(branch, slots);
+    }
+  }
+}
+
+// A triple pattern compiled to slots: component is either a constant term
+// id, or (slot | kVarFlag).
+struct CompiledPattern {
+  static constexpr uint64_t kVarFlag = 1ULL << 40;
+  uint64_t s, p, o;
+  bool dead = false;  // Constant term not present in this KG: no matches.
+
+  static bool IsSlot(uint64_t c) { return (c & kVarFlag) != 0; }
+  static size_t Slot(uint64_t c) { return static_cast<size_t>(c & ~kVarFlag); }
+};
+
+class Evaluator {
+ public:
+  Evaluator(const store::TripleStore& store, const text::TextIndex& text_index,
+            const EvalOptions& options)
+      : store_(store), text_index_(text_index), options_(options) {}
+
+  StatusOr<ResultSet> Run(const Query& query) {
+    CollectVars(query.where, &slots_);
+    // Register aggregate / projection vars so projection can resolve them.
+    for (const Var& v : query.select_vars) slots_.SlotOf(v.name);
+    for (const CountAggregate& agg : query.aggregates) {
+      slots_.SlotOf(agg.var.name);
+    }
+
+    std::vector<Binding> rows;
+    rows.push_back(Binding(slots_.size(), kNullTermId));
+    KGQAN_ASSIGN_OR_RETURN(rows, EvalGroup(query.where, std::move(rows)));
+
+    if (query.form == Query::Form::kAsk) {
+      return ResultSet::Ask(!rows.empty());
+    }
+    return Project(query, std::move(rows));
+  }
+
+ private:
+  uint64_t Compile(const TermOrVar& tv, bool* dead) {
+    if (IsVar(tv)) {
+      return CompiledPattern::kVarFlag |
+             static_cast<uint64_t>(slots_.SlotOf(AsVar(tv).name));
+    }
+    auto id = store_.dictionary().Find(AsTerm(tv));
+    if (!id.has_value()) {
+      *dead = true;
+      return 0;
+    }
+    return *id;
+  }
+
+  // Resolves a compiled component against a binding: a constant id, the
+  // bound value of its slot, or kNullTermId (wildcard).
+  static TermId Resolve(uint64_t c, const Binding& b) {
+    if (!CompiledPattern::IsSlot(c)) return static_cast<TermId>(c);
+    return b[CompiledPattern::Slot(c)];
+  }
+
+  // Estimated number of matches given which slots are bound (for join
+  // ordering); bound slots are treated as constants of unknown value, so we
+  // use the count with only the constant components as an upper bound.
+  size_t EstimateCost(const CompiledPattern& cp,
+                      const std::vector<bool>& bound) const {
+    if (cp.dead) return 0;
+    auto comp = [&](uint64_t c) -> TermId {
+      if (!CompiledPattern::IsSlot(c)) return static_cast<TermId>(c);
+      return kNullTermId;
+    };
+    size_t base = store_.CountMatches(comp(cp.s), comp(cp.p), comp(cp.o));
+    // Each bound variable component divides the estimate (heuristic).
+    auto discount = [&](uint64_t c, size_t est) {
+      if (CompiledPattern::IsSlot(c) && bound[CompiledPattern::Slot(c)]) {
+        return std::max<size_t>(1, est / 64);
+      }
+      return est;
+    };
+    base = discount(cp.s, base);
+    base = discount(cp.p, base);
+    base = discount(cp.o, base);
+    return base;
+  }
+
+  StatusOr<std::vector<Binding>> EvalGroup(const GroupGraphPattern& group,
+                                           std::vector<Binding> rows) {
+    // 1. Text patterns first: they seed candidate sets in relevance order.
+    for (const TextPattern& tp : group.text_patterns) {
+      KGQAN_ASSIGN_OR_RETURN(text::ContainsQuery cq,
+                             text::ParseContainsQuery(tp.expr));
+      std::vector<TermId> candidates =
+          text_index_.MatchLiterals(cq, options_.text_candidate_limit);
+      size_t slot = slots_.SlotOf(tp.var.name);
+      std::vector<Binding> next;
+      for (const Binding& row : rows) {
+        if (row[slot] != kNullTermId) {
+          // Already bound: keep iff it satisfies the text query.
+          if (std::find(candidates.begin(), candidates.end(), row[slot]) !=
+              candidates.end()) {
+            next.push_back(row);
+          }
+          continue;
+        }
+        for (TermId cand : candidates) {
+          Binding ext = row;
+          ext[slot] = cand;
+          next.push_back(std::move(ext));
+          if (next.size() >= options_.max_rows) break;
+        }
+        if (next.size() >= options_.max_rows) break;
+      }
+      rows = std::move(next);
+    }
+
+    // 1b. Inline VALUES bindings.
+    for (const InlineValues& iv : group.values) {
+      size_t slot = slots_.SlotOf(iv.var.name);
+      std::vector<TermId> ids;
+      for (const Term& t : iv.values) {
+        auto id = store_.dictionary().Find(t);
+        if (id.has_value()) ids.push_back(*id);
+      }
+      std::vector<Binding> next;
+      for (const Binding& row : rows) {
+        if (row[slot] != kNullTermId) {
+          if (std::find(ids.begin(), ids.end(), row[slot]) != ids.end()) {
+            next.push_back(row);
+          }
+          continue;
+        }
+        for (TermId id : ids) {
+          Binding ext = row;
+          ext[slot] = id;
+          next.push_back(std::move(ext));
+          if (next.size() >= options_.max_rows) break;
+        }
+        if (next.size() >= options_.max_rows) break;
+      }
+      rows = std::move(next);
+    }
+
+    // 2. Triple patterns, greedily ordered by estimated cost.
+    std::vector<CompiledPattern> patterns;
+    for (const TriplePattern& tp : group.triples) {
+      CompiledPattern cp;
+      cp.s = Compile(tp.s, &cp.dead);
+      cp.p = Compile(tp.p, &cp.dead);
+      cp.o = Compile(tp.o, &cp.dead);
+      patterns.push_back(cp);
+    }
+    std::vector<bool> bound(slots_.size(), false);
+    // Slots bound by incoming rows (all rows share the same bound set by
+    // construction: they come from the same pattern prefix).
+    if (!rows.empty()) {
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        bound[i] = rows.front()[i] != kNullTermId;
+      }
+    }
+    std::vector<bool> used(patterns.size(), false);
+    for (size_t step = 0; step < patterns.size(); ++step) {
+      // Pick the cheapest unused pattern.
+      size_t best = patterns.size();
+      size_t best_cost = std::numeric_limits<size_t>::max();
+      for (size_t i = 0; i < patterns.size(); ++i) {
+        if (used[i]) continue;
+        size_t cost = EstimateCost(patterns[i], bound);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      used[best] = true;
+      const CompiledPattern& cp = patterns[best];
+      std::vector<Binding> next;
+      if (!cp.dead) {
+        for (const Binding& row : rows) {
+          TermId s = Resolve(cp.s, row);
+          TermId p = Resolve(cp.p, row);
+          TermId o = Resolve(cp.o, row);
+          store_.Match(s, p, o, [&](const rdf::Triple& t) {
+            Binding ext = row;
+            if (CompiledPattern::IsSlot(cp.s)) {
+              ext[CompiledPattern::Slot(cp.s)] = t.s;
+            }
+            if (CompiledPattern::IsSlot(cp.p)) {
+              ext[CompiledPattern::Slot(cp.p)] = t.p;
+            }
+            if (CompiledPattern::IsSlot(cp.o)) {
+              ext[CompiledPattern::Slot(cp.o)] = t.o;
+            }
+            next.push_back(std::move(ext));
+            return next.size() < options_.max_rows;
+          });
+          if (next.size() >= options_.max_rows) break;
+        }
+      }
+      rows = std::move(next);
+      if (rows.empty()) break;
+      // Update bound set.
+      for (uint64_t c : {cp.s, cp.p, cp.o}) {
+        if (CompiledPattern::IsSlot(c)) bound[CompiledPattern::Slot(c)] = true;
+      }
+    }
+
+    // 3. UNION blocks: solutions of the branches are concatenated (each
+    // branch joins against the incoming rows independently).
+    for (const auto& branches : group.unions) {
+      std::vector<Binding> next;
+      for (const GroupGraphPattern& branch : branches) {
+        auto matched = EvalGroup(branch, rows);
+        if (!matched.ok()) return matched.status();
+        for (Binding& m : *matched) {
+          next.push_back(std::move(m));
+          if (next.size() >= options_.max_rows) break;
+        }
+        if (next.size() >= options_.max_rows) break;
+      }
+      rows = std::move(next);
+    }
+
+    // 4. OPTIONAL groups: left join.
+    for (const GroupGraphPattern& opt : group.optionals) {
+      std::vector<Binding> next;
+      for (const Binding& row : rows) {
+        std::vector<Binding> seed{row};
+        auto matched = EvalGroup(opt, std::move(seed));
+        if (!matched.ok()) return matched.status();
+        if (matched->empty()) {
+          next.push_back(row);
+        } else {
+          for (Binding& m : *matched) {
+            next.push_back(std::move(m));
+            if (next.size() >= options_.max_rows) break;
+          }
+        }
+        if (next.size() >= options_.max_rows) break;
+      }
+      rows = std::move(next);
+    }
+
+    // 5. Filters.
+    for (const Expr& filter : group.filters) {
+      std::vector<Binding> next;
+      for (Binding& row : rows) {
+        if (EvalExprBool(filter, row)) next.push_back(std::move(row));
+      }
+      rows = std::move(next);
+    }
+    return rows;
+  }
+
+  // ---- FILTER expression evaluation ----
+
+  // Three-valued-lite: comparisons involving unbound vars are false.
+  bool EvalExprBool(const Expr& e, const Binding& b) const {
+    switch (e.op) {
+      case ExprOp::kAnd:
+        return EvalExprBool(*e.lhs, b) && EvalExprBool(*e.rhs, b);
+      case ExprOp::kOr:
+        return EvalExprBool(*e.lhs, b) || EvalExprBool(*e.rhs, b);
+      case ExprOp::kNot:
+        return !EvalExprBool(*e.lhs, b);
+      case ExprOp::kBound: {
+        auto slot = slots_.Find(e.var.name);
+        return slot.has_value() && b[*slot] != kNullTermId;
+      }
+      case ExprOp::kEq:
+      case ExprOp::kNe:
+      case ExprOp::kLt:
+      case ExprOp::kLe:
+      case ExprOp::kGt:
+      case ExprOp::kGe:
+        return EvalComparison(e, b);
+      case ExprOp::kVar: {
+        auto slot = slots_.Find(e.var.name);
+        if (!slot.has_value() || b[*slot] == kNullTermId) return false;
+        const Term& t = store_.dictionary().Get(b[*slot]);
+        return t.value == "true";
+      }
+      case ExprOp::kConstant:
+        return e.constant.value == "true";
+      case ExprOp::kRegex: {
+        std::optional<Term> subject = EvalOperand(*e.lhs, b);
+        std::optional<Term> pattern = EvalOperand(*e.rhs, b);
+        if (!subject.has_value() || !pattern.has_value()) return false;
+        // Construction failures (bad patterns) evaluate to false rather
+        // than erroring, matching FILTER error semantics.
+        std::regex re;
+        if (auto status = CompileRegex(pattern->value, &re); !status) {
+          return false;
+        }
+        return std::regex_search(subject->value, re);
+      }
+      case ExprOp::kContains: {
+        std::optional<Term> hay = EvalOperand(*e.lhs, b);
+        std::optional<Term> needle = EvalOperand(*e.rhs, b);
+        if (!hay.has_value() || !needle.has_value()) return false;
+        return hay->value.find(needle->value) != std::string::npos;
+      }
+      case ExprOp::kIsIri: {
+        std::optional<Term> t = EvalOperand(*e.lhs, b);
+        return t.has_value() && t->IsIri();
+      }
+      case ExprOp::kIsLiteral: {
+        std::optional<Term> t = EvalOperand(*e.lhs, b);
+        return t.has_value() && t->IsLiteral();
+      }
+      case ExprOp::kStr:
+      case ExprOp::kLang: {
+        std::optional<Term> t = EvalOperand(e, b);
+        return t.has_value() && !t->value.empty();
+      }
+    }
+    return false;
+  }
+
+  static bool CompileRegex(const std::string& pattern, std::regex* out) {
+    try {
+      *out = std::regex(pattern, std::regex::ECMAScript);
+      return true;
+    } catch (const std::regex_error&) {
+      return false;
+    }
+  }
+
+  std::optional<Term> EvalOperand(const Expr& e, const Binding& b) const {
+    if (e.op == ExprOp::kConstant) return e.constant;
+    if (e.op == ExprOp::kVar) {
+      auto slot = slots_.Find(e.var.name);
+      if (!slot.has_value() || b[*slot] == kNullTermId) return std::nullopt;
+      return store_.dictionary().Get(b[*slot]);
+    }
+    if (e.op == ExprOp::kStr) {
+      std::optional<Term> inner = EvalOperand(*e.lhs, b);
+      if (!inner.has_value()) return std::nullopt;
+      return rdf::StringLiteral(inner->value);
+    }
+    if (e.op == ExprOp::kLang) {
+      std::optional<Term> inner = EvalOperand(*e.lhs, b);
+      if (!inner.has_value() || !inner->IsLiteral()) return std::nullopt;
+      return rdf::StringLiteral(inner->lang);
+    }
+    return std::nullopt;
+  }
+
+  static bool IsNumeric(const Term& t, double* out) {
+    if (!t.IsLiteral()) return false;
+    const char* begin = t.value.c_str();
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin || *end != '\0') return false;
+    *out = v;
+    return true;
+  }
+
+  bool EvalComparison(const Expr& e, const Binding& b) const {
+    std::optional<Term> lhs = EvalOperand(*e.lhs, b);
+    std::optional<Term> rhs = EvalOperand(*e.rhs, b);
+    if (!lhs.has_value() || !rhs.has_value()) return false;
+    int cmp;
+    double lv, rv;
+    if (IsNumeric(*lhs, &lv) && IsNumeric(*rhs, &rv)) {
+      cmp = lv < rv ? -1 : (lv > rv ? 1 : 0);
+    } else {
+      cmp = lhs->value.compare(rhs->value);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+      // Equality additionally requires the same kind for non-numeric terms.
+      if (cmp == 0 && lhs->kind != rhs->kind) cmp = 1;
+    }
+    switch (e.op) {
+      case ExprOp::kEq:
+        return cmp == 0;
+      case ExprOp::kNe:
+        return cmp != 0;
+      case ExprOp::kLt:
+        return cmp < 0;
+      case ExprOp::kLe:
+        return cmp <= 0;
+      case ExprOp::kGt:
+        return cmp > 0;
+      case ExprOp::kGe:
+        return cmp >= 0;
+      default:
+        return false;
+    }
+  }
+
+  // ---- Projection ----
+
+  // Evaluates one aggregate over the solution rows.
+  Term EvalAggregate(const Aggregate& agg,
+                     const std::vector<Binding>& rows) const {
+    auto slot = slots_.Find(agg.var.name);
+    std::vector<TermId> values;
+    if (slot.has_value()) {
+      std::unordered_set<TermId> seen;
+      for (const Binding& b : rows) {
+        if (b[*slot] == kNullTermId) continue;
+        if (agg.distinct && !seen.insert(b[*slot]).second) continue;
+        values.push_back(b[*slot]);
+      }
+    }
+    switch (agg.op) {
+      case Aggregate::Op::kCount:
+        return rdf::IntLiteral(static_cast<int64_t>(values.size()));
+      case Aggregate::Op::kMin:
+      case Aggregate::Op::kMax: {
+        std::optional<TermId> best;
+        std::optional<double> best_num;
+        for (TermId id : values) {
+          const Term& t = store_.dictionary().Get(id);
+          double v;
+          bool numeric = IsNumeric(t, &v);
+          if (!best.has_value()) {
+            best = id;
+            if (numeric) best_num = v;
+            continue;
+          }
+          bool better;
+          if (numeric && best_num.has_value()) {
+            better = agg.op == Aggregate::Op::kMin ? v < *best_num
+                                                   : v > *best_num;
+          } else {
+            const Term& bt = store_.dictionary().Get(*best);
+            better = agg.op == Aggregate::Op::kMin ? t.value < bt.value
+                                                   : t.value > bt.value;
+          }
+          if (better) {
+            best = id;
+            best_num = numeric ? std::optional<double>(v) : std::nullopt;
+          }
+        }
+        if (!best.has_value()) return rdf::IntLiteral(0);
+        return store_.dictionary().Get(*best);
+      }
+      case Aggregate::Op::kSum:
+      case Aggregate::Op::kAvg: {
+        double sum = 0.0;
+        size_t n = 0;
+        bool integral = true;
+        for (TermId id : values) {
+          const Term& t = store_.dictionary().Get(id);
+          double v;
+          if (!IsNumeric(t, &v)) continue;
+          if (t.datatype != rdf::vocab::kXsdInteger) integral = false;
+          sum += v;
+          ++n;
+        }
+        if (agg.op == Aggregate::Op::kAvg) {
+          return rdf::DoubleLiteral(n == 0 ? 0.0 : sum / double(n));
+        }
+        if (integral) return rdf::IntLiteral(static_cast<int64_t>(sum));
+        return rdf::DoubleLiteral(sum);
+      }
+    }
+    return rdf::IntLiteral(0);
+  }
+
+  StatusOr<ResultSet> Project(const Query& query,
+                              std::vector<Binding> rows) {
+    // Aggregates: single-row result over the whole solution set.
+    if (!query.aggregates.empty()) {
+      std::vector<std::string> cols;
+      Row out_row;
+      for (const Aggregate& agg : query.aggregates) {
+        cols.push_back(agg.alias.name);
+        out_row.push_back(EvalAggregate(agg, rows));
+      }
+      ResultSet rs(std::move(cols));
+      rs.AddRow(std::move(out_row));
+      return rs;
+    }
+
+    // ORDER BY: sort the solution rows before projection.
+    if (!query.order_by.empty()) {
+      std::vector<std::pair<size_t, bool>> keys;  // (slot, descending)
+      for (const OrderKey& key : query.order_by) {
+        auto slot = slots_.Find(key.var.name);
+        if (slot.has_value()) keys.emplace_back(*slot, key.descending);
+      }
+      auto term_less = [&](TermId a, TermId b) {
+        // Unbound sorts first; numbers numerically; everything else by
+        // lexical form.
+        if (a == b) return false;
+        if (a == kNullTermId) return true;
+        if (b == kNullTermId) return false;
+        const Term& ta = store_.dictionary().Get(a);
+        const Term& tb = store_.dictionary().Get(b);
+        double va, vb;
+        if (IsNumeric(ta, &va) && IsNumeric(tb, &vb)) {
+          if (va != vb) return va < vb;
+        }
+        return ta.value < tb.value;
+      };
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Binding& a, const Binding& b) {
+                         for (const auto& [slot, desc] : keys) {
+                           if (a[slot] == b[slot]) continue;
+                           bool less = term_less(a[slot], b[slot]);
+                           return desc ? !less : less;
+                         }
+                         return false;
+                       });
+    }
+
+    // Column list.
+    std::vector<std::string> cols;
+    std::vector<size_t> col_slots;
+    if (query.select_all) {
+      // All variables, in slot order: rebuild name list.
+      cols.resize(slots_.size());
+      col_slots.resize(slots_.size());
+      // SlotMap does not keep reverse order; re-derive from the query.
+      // Collect in first-appearance order.
+      SlotMap ordered;
+      CollectVars(query.where, &ordered);
+      // ordered slots == slots_ prefix (same insertion order).
+      std::vector<std::string> names(ordered.size());
+      // We need names; re-walk the group.
+      CollectVarNames(query.where, &names);
+      cols.assign(names.begin(), names.end());
+      col_slots.clear();
+      for (const std::string& name : cols) {
+        col_slots.push_back(*slots_.Find(name));
+      }
+    } else {
+      for (const Var& v : query.select_vars) {
+        cols.push_back(v.name);
+        col_slots.push_back(slots_.SlotOf(v.name));
+      }
+    }
+
+    ResultSet rs(cols);
+    std::set<std::vector<TermId>> seen;
+    size_t skipped = 0;
+    for (const Binding& b : rows) {
+      std::vector<TermId> key;
+      key.reserve(col_slots.size());
+      for (size_t slot : col_slots) key.push_back(b[slot]);
+      if (query.distinct) {
+        if (!seen.insert(key).second) continue;
+      }
+      if (skipped < query.offset) {
+        ++skipped;
+        continue;
+      }
+      Row row;
+      row.reserve(col_slots.size());
+      for (TermId id : key) {
+        if (id == kNullTermId) {
+          row.push_back(std::nullopt);
+        } else {
+          row.push_back(store_.dictionary().Get(id));
+        }
+      }
+      rs.AddRow(std::move(row));
+      if (query.limit > 0 && rs.NumRows() >= query.limit) break;
+    }
+    return rs;
+  }
+
+  // Collects variable names in first-appearance order (matches SlotMap
+  // insertion order for the same traversal).
+  static void CollectVarNames(const GroupGraphPattern& group,
+                              std::vector<std::string>* names) {
+    auto visit = [&](const TermOrVar& tv) {
+      if (IsVar(tv)) {
+        const std::string& n = AsVar(tv).name;
+        if (std::find(names->begin(), names->end(), n) == names->end()) {
+          names->push_back(n);
+        }
+      }
+    };
+    for (const TriplePattern& tp : group.triples) {
+      visit(tp.s);
+      visit(tp.p);
+      visit(tp.o);
+    }
+    for (const TextPattern& tp : group.text_patterns) {
+      const std::string& n = tp.var.name;
+      if (std::find(names->begin(), names->end(), n) == names->end()) {
+        names->push_back(n);
+      }
+    }
+    for (const GroupGraphPattern& opt : group.optionals) {
+      CollectVarNames(opt, names);
+    }
+  }
+
+  const store::TripleStore& store_;
+  const text::TextIndex& text_index_;
+  const EvalOptions& options_;
+  SlotMap slots_;
+};
+
+}  // namespace
+
+StatusOr<ResultSet> Evaluate(const Query& query,
+                             const store::TripleStore& store,
+                             const text::TextIndex& text_index,
+                             const EvalOptions& options) {
+  Evaluator evaluator(store, text_index, options);
+  return evaluator.Run(query);
+}
+
+}  // namespace kgqan::sparql

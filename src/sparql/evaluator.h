@@ -1,0 +1,38 @@
+// SPARQL query evaluation over a TripleStore + TextIndex.
+//
+// The evaluator compiles the query's variables to dense slots, seeds
+// bindings from `bif:contains` text patterns (in text-index relevance
+// order, so LIMIT keeps the best matches), joins triple patterns with a
+// greedy selectivity-ordered index-nested-loop strategy, then applies
+// OPTIONAL groups (left join) and FILTER expressions.
+
+#ifndef KGQAN_SPARQL_EVALUATOR_H_
+#define KGQAN_SPARQL_EVALUATOR_H_
+
+#include <cstddef>
+
+#include "sparql/ast.h"
+#include "sparql/result_set.h"
+#include "store/triple_store.h"
+#include "text/text_index.h"
+#include "util/status.h"
+
+namespace kgqan::sparql {
+
+struct EvalOptions {
+  // Hard cap on intermediate/solution rows, like the result caps of public
+  // SPARQL endpoints.  Evaluation stops (successfully) when reached.
+  size_t max_rows = 100000;
+  // Cap on candidates pulled from the text index per bif:contains pattern.
+  size_t text_candidate_limit = 4096;
+};
+
+// Evaluates `query` against `store` / `text_index`.
+util::StatusOr<ResultSet> Evaluate(const Query& query,
+                                   const store::TripleStore& store,
+                                   const text::TextIndex& text_index,
+                                   const EvalOptions& options = {});
+
+}  // namespace kgqan::sparql
+
+#endif  // KGQAN_SPARQL_EVALUATOR_H_

@@ -1,0 +1,233 @@
+#include "sparql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace kgqan::sparql {
+
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+bool IsNameChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '_' || c == '-';
+}
+
+bool IsKeyword(std::string_view upper) {
+  static constexpr std::array<std::string_view, 26> kKeywords = {
+      "SELECT", "ASK",    "WHERE",  "DISTINCT", "OPTIONAL", "FILTER",
+      "LIMIT",  "PREFIX", "COUNT",  "AS",       "BOUND",    "UNION",
+      "ORDER",  "BY",     "ASC",    "DESC",     "OFFSET",   "MIN",
+      "MAX",    "SUM",    "AVG",    "REGEX",    "CONTAINS", "STR",
+      "LANG",   "VALUES"};
+  for (std::string_view k : kKeywords) {
+    if (k == upper) return true;
+  }
+  // isIRI / isLITERAL (case-insensitive).
+  return upper == "ISIRI" || upper == "ISLITERAL";
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(i));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // Comment to end of line.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '<') {
+      // '<' is both the IRI opener and the less-than operator.  It is an
+      // IRI iff a '>' appears before any whitespace.
+      size_t end = i + 1;
+      while (end < n && input[end] != '>' &&
+             !std::isspace(static_cast<unsigned char>(input[end]))) {
+        ++end;
+      }
+      if (end < n && input[end] == '>') {
+        tokens.push_back({TokenKind::kIriRef,
+                          std::string(input.substr(i + 1, end - i - 1)),
+                          start});
+        i = end + 1;
+        continue;
+      }
+      // Fall through to operator handling below.
+    }
+    if (c == '?' || c == '$') {
+      ++i;
+      size_t vs = i;
+      while (i < n && IsNameChar(input[i])) ++i;
+      if (i == vs) return error("empty variable name");
+      tokens.push_back(
+          {TokenKind::kVar, std::string(input.substr(vs, i - vs)), start});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        char d = input[i];
+        if (d == '\\' && i + 1 < n) {
+          char esc = input[i + 1];
+          switch (esc) {
+            case 'n':
+              text += '\n';
+              break;
+            case 't':
+              text += '\t';
+              break;
+            case 'r':
+              text += '\r';
+              break;
+            default:
+              text += esc;
+          }
+          i += 2;
+          continue;
+        }
+        if (d == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        text += d;
+        ++i;
+      }
+      if (!closed) return error("unterminated string");
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    if (c == '@') {
+      ++i;
+      size_t ls = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '-')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kLangTag, std::string(input.substr(ls, i - ls)), start});
+      continue;
+    }
+    if (c == '^') {
+      if (i + 1 < n && input[i + 1] == '^') {
+        tokens.push_back({TokenKind::kDtSep, "^^", start});
+        i += 2;
+        continue;
+      }
+      return error("stray '^'");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t ns = i;
+      if (c == '-') ++i;
+      bool decimal = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        // A '.' followed by a non-digit terminates the number (it is the
+        // triple terminator).
+        if (input[i] == '.') {
+          if (i + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            break;
+          }
+          decimal = true;
+        }
+        ++i;
+      }
+      tokens.push_back({decimal ? TokenKind::kDecimal : TokenKind::kInteger,
+                        std::string(input.substr(ns, i - ns)), start});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t ws = i;
+      while (i < n && IsNameChar(input[i])) ++i;
+      std::string word(input.substr(ws, i - ws));
+      // prefix:local ?
+      if (i < n && input[i] == ':') {
+        ++i;
+        size_t ls = i;
+        while (i < n && (IsNameChar(input[i]) || input[i] == '/' ||
+                         input[i] == '.')) {
+          ++i;
+        }
+        // A trailing '.' is the triple terminator, not part of the name.
+        while (i > ls && input[i - 1] == '.') --i;
+        tokens.push_back({TokenKind::kPname,
+                          word + ":" + std::string(input.substr(ls, i - ls)),
+                          start});
+        continue;
+      }
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenKind::kKeyword, upper, start});
+      } else if (upper == "TRUE" || upper == "FALSE") {
+        tokens.push_back({TokenKind::kBoolean,
+                          upper == "TRUE" ? "true" : "false", start});
+      } else {
+        // Bare word: treat as a pname with empty prefix is not valid; error.
+        return error("unexpected word '" + word + "'");
+      }
+      continue;
+    }
+    // Operators and punctuation.
+    if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      tokens.push_back({TokenKind::kOp, "!=", start});
+      i += 2;
+      continue;
+    }
+    if ((c == '<' || c == '>') && i + 1 < n && input[i + 1] == '=') {
+      tokens.push_back({TokenKind::kOp, std::string(1, c) + "=", start});
+      i += 2;
+      continue;
+    }
+    if (c == '&' && i + 1 < n && input[i + 1] == '&') {
+      tokens.push_back({TokenKind::kOp, "&&", start});
+      i += 2;
+      continue;
+    }
+    if (c == '|' && i + 1 < n && input[i + 1] == '|') {
+      tokens.push_back({TokenKind::kOp, "||", start});
+      i += 2;
+      continue;
+    }
+    if (c == '=' || c == '<' || c == '>') {
+      tokens.push_back({TokenKind::kOp, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    if (c == '{' || c == '}' || c == '(' || c == ')' || c == '.' ||
+        c == ';' || c == ',' || c == '*' || c == '!') {
+      tokens.push_back({TokenKind::kPunct, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEof, "", n});
+  return tokens;
+}
+
+}  // namespace kgqan::sparql

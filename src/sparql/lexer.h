@@ -1,0 +1,42 @@
+// Tokenizer for the SPARQL subset.
+
+#ifndef KGQAN_SPARQL_LEXER_H_
+#define KGQAN_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgqan::sparql {
+
+enum class TokenKind {
+  kKeyword,    // SELECT, ASK, WHERE, DISTINCT, OPTIONAL, FILTER, LIMIT,
+               // PREFIX, COUNT, AS, BOUND (normalized upper-case in `text`)
+  kIriRef,     // <...> (text without brackets)
+  kPname,      // prefix:local (text as written)
+  kVar,        // ?name (text without '?')
+  kString,     // "..." or '...' (unescaped text)
+  kLangTag,    // @en (text without '@')
+  kDtSep,      // ^^
+  kInteger,    // 123 (also negative)
+  kDecimal,    // 1.5
+  kBoolean,    // true / false
+  kPunct,      // one of { } ( ) . ; , * !
+  kOp,         // = != < <= > >= && ||
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  size_t offset = 0;  // Byte offset in the input, for error messages.
+};
+
+// Tokenizes `input`; the final token is always kEof.
+util::StatusOr<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace kgqan::sparql
+
+#endif  // KGQAN_SPARQL_LEXER_H_

@@ -1,0 +1,468 @@
+#include "sparql/parser.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "sparql/lexer.h"
+#include "util/string_util.h"
+
+namespace kgqan::sparql {
+
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> Parse() {
+    Query query;
+    KGQAN_RETURN_IF_ERROR(ParsePrologue());
+    const Token& head = Peek();
+    if (head.kind != TokenKind::kKeyword) {
+      return Error("expected SELECT or ASK");
+    }
+    if (head.text == "SELECT") {
+      Advance();
+      query.form = Query::Form::kSelect;
+      KGQAN_RETURN_IF_ERROR(ParseSelectClause(&query));
+      if (!ConsumeKeyword("WHERE")) {
+        // WHERE keyword is optional in SPARQL.
+      }
+      KGQAN_ASSIGN_OR_RETURN(query.where, ParseGroup());
+      KGQAN_RETURN_IF_ERROR(ParseModifiers(&query));
+    } else if (head.text == "ASK") {
+      Advance();
+      query.form = Query::Form::kAsk;
+      KGQAN_ASSIGN_OR_RETURN(query.where, ParseGroup());
+    } else {
+      return Error("expected SELECT or ASK");
+    }
+    if (Peek().kind != TokenKind::kEof) return Error("trailing input");
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool CheckPunct(std::string_view p) const {
+    return Peek().kind == TokenKind::kPunct && Peek().text == p;
+  }
+  bool ConsumePunct(std::string_view p) {
+    if (!CheckPunct(p)) return false;
+    Advance();
+    return true;
+  }
+  bool CheckKeyword(std::string_view k) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == k;
+  }
+  bool ConsumeKeyword(std::string_view k) {
+    if (!CheckKeyword(k)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Status ParsePrologue() {
+    while (ConsumeKeyword("PREFIX")) {
+      if (Peek().kind != TokenKind::kPname) {
+        return Error("expected prefix name");
+      }
+      std::string pname = Advance().text;
+      // pname is "pfx:"; strip the colon (local part is empty).
+      size_t colon = pname.find(':');
+      std::string pfx = pname.substr(0, colon);
+      if (Peek().kind != TokenKind::kIriRef) {
+        return Error("expected IRI after PREFIX");
+      }
+      prefixes_[pfx] = Advance().text;
+    }
+    return Status::Ok();
+  }
+
+  Status ParseSelectClause(Query* query) {
+    if (ConsumeKeyword("DISTINCT")) query->distinct = true;
+    if (ConsumePunct("*")) {
+      query->select_all = true;
+      return Status::Ok();
+    }
+    bool any = false;
+    while (true) {
+      if (Peek().kind == TokenKind::kVar) {
+        query->select_vars.push_back(Var{Advance().text});
+        any = true;
+        continue;
+      }
+      if (CheckPunct("(")) {
+        Advance();
+        Aggregate agg;
+        if (ConsumeKeyword("COUNT")) {
+          agg.op = Aggregate::Op::kCount;
+        } else if (ConsumeKeyword("MIN")) {
+          agg.op = Aggregate::Op::kMin;
+        } else if (ConsumeKeyword("MAX")) {
+          agg.op = Aggregate::Op::kMax;
+        } else if (ConsumeKeyword("SUM")) {
+          agg.op = Aggregate::Op::kSum;
+        } else if (ConsumeKeyword("AVG")) {
+          agg.op = Aggregate::Op::kAvg;
+        } else {
+          return Error("expected aggregate function");
+        }
+        if (!ConsumePunct("(")) return Error("expected '(' after aggregate");
+        if (ConsumeKeyword("DISTINCT")) agg.distinct = true;
+        if (Peek().kind != TokenKind::kVar) {
+          return Error("expected variable in aggregate");
+        }
+        agg.var = Var{Advance().text};
+        if (!ConsumePunct(")")) return Error("expected ')' in aggregate");
+        if (!ConsumeKeyword("AS")) return Error("expected AS");
+        if (Peek().kind != TokenKind::kVar) {
+          return Error("expected alias variable");
+        }
+        agg.alias = Var{Advance().text};
+        if (!ConsumePunct(")")) return Error("expected ')' after alias");
+        query->aggregates.push_back(std::move(agg));
+        any = true;
+        continue;
+      }
+      break;
+    }
+    if (!any) return Error("empty SELECT clause");
+    return Status::Ok();
+  }
+
+  Status ParseModifiers(Query* query) {
+    while (true) {
+      if (ConsumeKeyword("ORDER")) {
+        if (!ConsumeKeyword("BY")) return Error("expected BY after ORDER");
+        bool any = false;
+        while (true) {
+          OrderKey key;
+          if (ConsumeKeyword("ASC") || ConsumeKeyword("DESC")) {
+            key.descending = tokens_[pos_ - 1].text == "DESC";
+            if (!ConsumePunct("(")) return Error("expected '('");
+            if (Peek().kind != TokenKind::kVar) {
+              return Error("expected variable in ORDER BY");
+            }
+            key.var = Var{Advance().text};
+            if (!ConsumePunct(")")) return Error("expected ')'");
+          } else if (Peek().kind == TokenKind::kVar) {
+            key.var = Var{Advance().text};
+          } else {
+            break;
+          }
+          query->order_by.push_back(std::move(key));
+          any = true;
+        }
+        if (!any) return Error("empty ORDER BY");
+        continue;
+      }
+      if (ConsumeKeyword("LIMIT")) {
+        if (Peek().kind != TokenKind::kInteger) {
+          return Error("expected integer after LIMIT");
+        }
+        query->limit = static_cast<size_t>(std::stoll(Advance().text));
+        continue;
+      }
+      if (ConsumeKeyword("OFFSET")) {
+        if (Peek().kind != TokenKind::kInteger) {
+          return Error("expected integer after OFFSET");
+        }
+        query->offset = static_cast<size_t>(std::stoll(Advance().text));
+        continue;
+      }
+      break;
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<rdf::Term> ResolvePname(const std::string& pname) {
+    size_t colon = pname.find(':');
+    std::string pfx = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    // `a` shorthand is handled by the caller; bif:contains passes through.
+    if (pfx == "bif") {
+      return rdf::Iri("bif:" + local);
+    }
+    auto it = prefixes_.find(pfx);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("unknown prefix '" + pfx + "'");
+    }
+    return rdf::Iri(it->second + local);
+  }
+
+  // Parses one term-or-var; handles IRIs, pnames, literals, vars.
+  StatusOr<TermOrVar> ParseTermOrVar() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVar:
+        return TermOrVar{Var{Advance().text}};
+      case TokenKind::kIriRef:
+        return TermOrVar{rdf::Iri(Advance().text)};
+      case TokenKind::kPname: {
+        KGQAN_ASSIGN_OR_RETURN(rdf::Term term, ResolvePname(Advance().text));
+        return TermOrVar{std::move(term)};
+      }
+      case TokenKind::kString: {
+        std::string lex = Advance().text;
+        if (Peek().kind == TokenKind::kLangTag) {
+          return TermOrVar{rdf::LangLiteral(std::move(lex), Advance().text)};
+        }
+        if (Peek().kind == TokenKind::kDtSep) {
+          Advance();
+          if (Peek().kind == TokenKind::kIriRef) {
+            return TermOrVar{
+                rdf::TypedLiteral(std::move(lex), Advance().text)};
+          }
+          if (Peek().kind == TokenKind::kPname) {
+            KGQAN_ASSIGN_OR_RETURN(rdf::Term dt,
+                                   ResolvePname(Advance().text));
+            return TermOrVar{rdf::TypedLiteral(std::move(lex), dt.value)};
+          }
+          return Error("expected datatype IRI");
+        }
+        return TermOrVar{rdf::StringLiteral(std::move(lex))};
+      }
+      case TokenKind::kInteger:
+        return TermOrVar{rdf::TypedLiteral(
+            Advance().text, std::string(rdf::vocab::kXsdInteger))};
+      case TokenKind::kDecimal:
+        return TermOrVar{rdf::TypedLiteral(
+            Advance().text, std::string(rdf::vocab::kXsdDouble))};
+      case TokenKind::kBoolean:
+        return TermOrVar{rdf::TypedLiteral(
+            Advance().text, std::string(rdf::vocab::kXsdBoolean))};
+      default:
+        return Error("expected term or variable");
+    }
+  }
+
+  StatusOr<GroupGraphPattern> ParseGroup() {
+    if (!ConsumePunct("{")) return Error("expected '{'");
+    GroupGraphPattern group;
+    while (!CheckPunct("}")) {
+      if (Peek().kind == TokenKind::kEof) return Error("unterminated group");
+      if (CheckPunct("{")) {
+        // `{A} UNION {B} [UNION {C} ...]` block.
+        std::vector<GroupGraphPattern> branches;
+        KGQAN_ASSIGN_OR_RETURN(GroupGraphPattern first, ParseGroup());
+        branches.push_back(std::move(first));
+        while (ConsumeKeyword("UNION")) {
+          KGQAN_ASSIGN_OR_RETURN(GroupGraphPattern next, ParseGroup());
+          branches.push_back(std::move(next));
+        }
+        group.unions.push_back(std::move(branches));
+        ConsumePunct(".");
+        continue;
+      }
+      if (ConsumeKeyword("OPTIONAL")) {
+        KGQAN_ASSIGN_OR_RETURN(GroupGraphPattern opt, ParseGroup());
+        group.optionals.push_back(std::move(opt));
+        ConsumePunct(".");
+        continue;
+      }
+      if (ConsumeKeyword("VALUES")) {
+        if (Peek().kind != TokenKind::kVar) {
+          return Error("expected variable after VALUES");
+        }
+        InlineValues iv;
+        iv.var = Var{Advance().text};
+        if (!ConsumePunct("{")) return Error("expected '{' after VALUES");
+        while (!CheckPunct("}")) {
+          if (Peek().kind == TokenKind::kEof) {
+            return Error("unterminated VALUES block");
+          }
+          KGQAN_ASSIGN_OR_RETURN(TermOrVar tv, ParseTermOrVar());
+          if (IsVar(tv)) return Error("VALUES entries must be terms");
+          iv.values.push_back(AsTerm(tv));
+        }
+        Advance();  // '}'
+        group.values.push_back(std::move(iv));
+        ConsumePunct(".");
+        continue;
+      }
+      if (ConsumeKeyword("FILTER")) {
+        if (!ConsumePunct("(")) return Error("expected '(' after FILTER");
+        KGQAN_ASSIGN_OR_RETURN(Expr e, ParseOrExpr());
+        if (!ConsumePunct(")")) return Error("expected ')' after FILTER");
+        group.filters.push_back(std::move(e));
+        ConsumePunct(".");
+        continue;
+      }
+      KGQAN_RETURN_IF_ERROR(ParseTriplesSameSubject(&group));
+      ConsumePunct(".");
+    }
+    Advance();  // '}'
+    return group;
+  }
+
+  // Parses `subject predicate object (';' predicate object)*`.
+  Status ParseTriplesSameSubject(GroupGraphPattern* group) {
+    KGQAN_ASSIGN_OR_RETURN(TermOrVar subject, ParseTermOrVar());
+    while (true) {
+      // Predicate: term, var, or the `a` keyword is not produced by our
+      // lexer (it errors on bare words), so rdf:type must be written
+      // explicitly.
+      KGQAN_ASSIGN_OR_RETURN(TermOrVar pred, ParseTermOrVar());
+      // bif:contains text pattern?
+      if (!IsVar(pred) && AsTerm(pred).IsIri() &&
+          AsTerm(pred).value == "bif:contains") {
+        if (!IsVar(subject)) {
+          return Error("bif:contains subject must be a variable");
+        }
+        if (Peek().kind != TokenKind::kString) {
+          return Error("bif:contains object must be a string");
+        }
+        group->text_patterns.push_back(
+            TextPattern{AsVar(subject), Advance().text});
+      } else {
+        KGQAN_ASSIGN_OR_RETURN(TermOrVar object, ParseTermOrVar());
+        group->triples.push_back(
+            TriplePattern{subject, std::move(pred), std::move(object)});
+      }
+      if (ConsumePunct(";")) continue;
+      break;
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Expr> ParseOrExpr() {
+    KGQAN_ASSIGN_OR_RETURN(Expr lhs, ParseAndExpr());
+    while (Peek().kind == TokenKind::kOp && Peek().text == "||") {
+      Advance();
+      KGQAN_ASSIGN_OR_RETURN(Expr rhs, ParseAndExpr());
+      Expr node;
+      node.op = ExprOp::kOr;
+      node.lhs = std::make_unique<Expr>(std::move(lhs));
+      node.rhs = std::make_unique<Expr>(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseAndExpr() {
+    KGQAN_ASSIGN_OR_RETURN(Expr lhs, ParseCmpExpr());
+    while (Peek().kind == TokenKind::kOp && Peek().text == "&&") {
+      Advance();
+      KGQAN_ASSIGN_OR_RETURN(Expr rhs, ParseCmpExpr());
+      Expr node;
+      node.op = ExprOp::kAnd;
+      node.lhs = std::make_unique<Expr>(std::move(lhs));
+      node.rhs = std::make_unique<Expr>(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseCmpExpr() {
+    KGQAN_ASSIGN_OR_RETURN(Expr lhs, ParseUnaryExpr());
+    if (Peek().kind == TokenKind::kOp) {
+      std::string op = Advance().text;
+      KGQAN_ASSIGN_OR_RETURN(Expr rhs, ParseUnaryExpr());
+      Expr node;
+      if (op == "=") {
+        node.op = ExprOp::kEq;
+      } else if (op == "!=") {
+        node.op = ExprOp::kNe;
+      } else if (op == "<") {
+        node.op = ExprOp::kLt;
+      } else if (op == "<=") {
+        node.op = ExprOp::kLe;
+      } else if (op == ">") {
+        node.op = ExprOp::kGt;
+      } else if (op == ">=") {
+        node.op = ExprOp::kGe;
+      } else {
+        return Error("unexpected operator '" + op + "'");
+      }
+      node.lhs = std::make_unique<Expr>(std::move(lhs));
+      node.rhs = std::make_unique<Expr>(std::move(rhs));
+      return node;
+    }
+    return lhs;
+  }
+
+  StatusOr<Expr> ParseUnaryExpr() {
+    if (ConsumePunct("!")) {
+      KGQAN_ASSIGN_OR_RETURN(Expr inner, ParseUnaryExpr());
+      Expr node;
+      node.op = ExprOp::kNot;
+      node.lhs = std::make_unique<Expr>(std::move(inner));
+      return node;
+    }
+    if (ConsumePunct("(")) {
+      KGQAN_ASSIGN_OR_RETURN(Expr inner, ParseOrExpr());
+      if (!ConsumePunct(")")) return Error("expected ')'");
+      return inner;
+    }
+    if (ConsumeKeyword("BOUND")) {
+      if (!ConsumePunct("(")) return Error("expected '(' after BOUND");
+      if (Peek().kind != TokenKind::kVar) {
+        return Error("expected variable in BOUND");
+      }
+      Expr node;
+      node.op = ExprOp::kBound;
+      node.var = Var{Advance().text};
+      if (!ConsumePunct(")")) return Error("expected ')' after BOUND");
+      return node;
+    }
+    // Built-in functions.
+    for (auto [kw, op, arity] :
+         {std::tuple<const char*, ExprOp, int>{"REGEX", ExprOp::kRegex, 2},
+          {"CONTAINS", ExprOp::kContains, 2},
+          {"STR", ExprOp::kStr, 1},
+          {"LANG", ExprOp::kLang, 1},
+          {"ISIRI", ExprOp::kIsIri, 1},
+          {"ISLITERAL", ExprOp::kIsLiteral, 1}}) {
+      if (!ConsumeKeyword(kw)) continue;
+      if (!ConsumePunct("(")) return Error("expected '(' after function");
+      Expr node;
+      node.op = op;
+      KGQAN_ASSIGN_OR_RETURN(Expr first, ParseOrExpr());
+      node.lhs = std::make_unique<Expr>(std::move(first));
+      if (arity == 2) {
+        if (!ConsumePunct(",")) return Error("expected ',' in function");
+        KGQAN_ASSIGN_OR_RETURN(Expr second, ParseOrExpr());
+        node.rhs = std::make_unique<Expr>(std::move(second));
+      }
+      if (!ConsumePunct(")")) return Error("expected ')' after function");
+      return node;
+    }
+    KGQAN_ASSIGN_OR_RETURN(TermOrVar tv, ParseTermOrVar());
+    Expr node;
+    if (IsVar(tv)) {
+      node.op = ExprOp::kVar;
+      node.var = AsVar(tv);
+    } else {
+      node.op = ExprOp::kConstant;
+      node.constant = AsTerm(tv);
+    }
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view text) {
+  KGQAN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace kgqan::sparql

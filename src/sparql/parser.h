@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SPARQL subset described in ast.h.
+
+#ifndef KGQAN_SPARQL_PARSER_H_
+#define KGQAN_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace kgqan::sparql {
+
+// Parses a complete SELECT or ASK query.
+util::StatusOr<Query> ParseQuery(std::string_view text);
+
+}  // namespace kgqan::sparql
+
+#endif  // KGQAN_SPARQL_PARSER_H_

@@ -1,0 +1,199 @@
+#include "store/triple_store.h"
+
+#include <array>
+#include <iterator>
+#include <tuple>
+
+namespace kgqan::store {
+
+namespace {
+
+// Key extractor per permutation: returns (k1, k2, k3).
+std::tuple<TermId, TermId, TermId> Key(Perm perm, const Triple& t) {
+  switch (perm) {
+    case Perm::kSpo:
+      return {t.s, t.p, t.o};
+    case Perm::kSop:
+      return {t.s, t.o, t.p};
+    case Perm::kPso:
+      return {t.p, t.s, t.o};
+    case Perm::kPos:
+      return {t.p, t.o, t.s};
+    case Perm::kOsp:
+      return {t.o, t.s, t.p};
+    case Perm::kOps:
+      return {t.o, t.p, t.s};
+  }
+  return {0, 0, 0};
+}
+
+struct PermLess {
+  Perm perm;
+  bool operator()(const Triple& a, const Triple& b) const {
+    return Key(perm, a) < Key(perm, b);
+  }
+};
+
+}  // namespace
+
+TripleStore::TripleStore(rdf::Graph graph) : graph_(std::move(graph)) {
+  std::vector<Triple> base(graph_.triples().begin(), graph_.triples().end());
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  for (size_t i = 0; i < 6; ++i) {
+    indexes_[i] = base;
+    Perm perm = static_cast<Perm>(i);
+    if (perm != Perm::kSpo) {
+      std::sort(indexes_[i].begin(), indexes_[i].end(), PermLess{perm});
+    }
+  }
+}
+
+size_t TripleStore::Insert(
+    const std::vector<std::array<rdf::Term, 3>>& triples) {
+  // Intern and deduplicate the batch against the existing store.
+  std::vector<Triple> fresh;
+  fresh.reserve(triples.size());
+  for (const auto& t : triples) {
+    Triple id_triple{graph_.dictionary().Intern(t[0]),
+                     graph_.dictionary().Intern(t[1]),
+                     graph_.dictionary().Intern(t[2])};
+    if (!Contains(id_triple.s, id_triple.p, id_triple.o)) {
+      fresh.push_back(id_triple);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  if (fresh.empty()) return 0;
+
+  for (size_t i = 0; i < 6; ++i) {
+    Perm perm = static_cast<Perm>(i);
+    std::vector<Triple> batch = fresh;
+    std::sort(batch.begin(), batch.end(), PermLess{perm});
+    std::vector<Triple> merged;
+    merged.reserve(indexes_[i].size() + batch.size());
+    std::merge(indexes_[i].begin(), indexes_[i].end(), batch.begin(),
+               batch.end(), std::back_inserter(merged), PermLess{perm});
+    indexes_[i] = std::move(merged);
+  }
+  return fresh.size();
+}
+
+size_t TripleStore::Erase(TermId s, TermId p, TermId o) {
+  // Collect the victims from the canonical index, then filter each
+  // permutation (erase-remove keeps the sorted order intact).
+  std::vector<Triple> victims = MatchAll(s, p, o);
+  if (victims.empty()) return 0;
+  std::sort(victims.begin(), victims.end());
+  auto is_victim = [&](const Triple& t) {
+    return std::binary_search(victims.begin(), victims.end(), t);
+  };
+  for (auto& index : indexes_) {
+    index.erase(std::remove_if(index.begin(), index.end(), is_victim),
+                index.end());
+  }
+  return victims.size();
+}
+
+TripleStore::Range TripleStore::Locate(TermId s, TermId p, TermId o) const {
+  const bool bs = s != kNullTermId;
+  const bool bp = p != kNullTermId;
+  const bool bo = o != kNullTermId;
+
+  // Pick a permutation whose key prefix covers the bound components.
+  Perm perm;
+  int prefix;  // Number of leading key components that are bound.
+  if (bs && bp && bo) {
+    perm = Perm::kSpo;
+    prefix = 3;
+  } else if (bs && bp) {
+    perm = Perm::kSpo;
+    prefix = 2;
+  } else if (bs && bo) {
+    perm = Perm::kSop;
+    prefix = 2;
+  } else if (bp && bo) {
+    perm = Perm::kPos;
+    prefix = 2;
+  } else if (bs) {
+    perm = Perm::kSpo;
+    prefix = 1;
+  } else if (bp) {
+    perm = Perm::kPso;
+    prefix = 1;
+  } else if (bo) {
+    perm = Perm::kOsp;
+    prefix = 1;
+  } else {
+    return Range{Perm::kSpo, 0, indexes_[0].size()};
+  }
+
+  const std::vector<Triple>& idx = indexes_[static_cast<size_t>(perm)];
+  Triple probe{s, p, o};
+  auto cmp = [perm, prefix](const Triple& a, const Triple& b) {
+    auto ka = Key(perm, a);
+    auto kb = Key(perm, b);
+    if (std::get<0>(ka) != std::get<0>(kb)) {
+      return std::get<0>(ka) < std::get<0>(kb);
+    }
+    if (prefix >= 2 && std::get<1>(ka) != std::get<1>(kb)) {
+      return std::get<1>(ka) < std::get<1>(kb);
+    }
+    if (prefix >= 3 && std::get<2>(ka) != std::get<2>(kb)) {
+      return std::get<2>(ka) < std::get<2>(kb);
+    }
+    return false;
+  };
+  auto lo = std::lower_bound(idx.begin(), idx.end(), probe, cmp);
+  auto hi = std::upper_bound(idx.begin(), idx.end(), probe, cmp);
+  return Range{perm, static_cast<size_t>(lo - idx.begin()),
+               static_cast<size_t>(hi - idx.begin())};
+}
+
+std::vector<Triple> TripleStore::MatchAll(TermId s, TermId p, TermId o,
+                                          size_t limit) const {
+  std::vector<Triple> out;
+  Match(s, p, o, [&](const Triple& t) {
+    out.push_back(t);
+    return out.size() < limit;
+  });
+  return out;
+}
+
+size_t TripleStore::CountMatches(TermId s, TermId p, TermId o) const {
+  // The located range is exact (no residual filtering needed) whenever the
+  // bound components form the permutation prefix, which Locate guarantees.
+  auto [perm, lo, hi] = Locate(s, p, o);
+  (void)perm;
+  return hi - lo;
+}
+
+bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
+  return CountMatches(s, p, o) > 0;
+}
+
+std::vector<TermId> TripleStore::OutgoingPredicates(TermId v) const {
+  // SPO index: triples with subject v are contiguous; predicates are sorted
+  // within the run, so dedup is a simple adjacent check.
+  std::vector<TermId> preds;
+  Match(v, kNullTermId, kNullTermId, [&](const Triple& t) {
+    if (preds.empty() || preds.back() != t.p) preds.push_back(t.p);
+    return true;
+  });
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+std::vector<TermId> TripleStore::IncomingPredicates(TermId v) const {
+  std::vector<TermId> preds;
+  Match(kNullTermId, kNullTermId, v, [&](const Triple& t) {
+    preds.push_back(t.p);
+    return true;
+  });
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+}  // namespace kgqan::store

@@ -1,0 +1,113 @@
+// In-memory triple store with sextuple indexing (Hexastore [59]).
+//
+// All six component orderings (SPO, SOP, PSO, POS, OSP, OPS) are kept as
+// sorted arrays, so any triple pattern with any subset of bound components
+// is answered by a binary search plus a contiguous scan — the "traditional
+// lookup" indices that Sec. 5.2 of the paper relies on for the
+// outgoingPredicate / incomingPredicate queries.
+
+#ifndef KGQAN_STORE_TRIPLE_STORE_H_
+#define KGQAN_STORE_TRIPLE_STORE_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term_dictionary.h"
+
+namespace kgqan::store {
+
+using rdf::kNullTermId;
+using rdf::TermId;
+using rdf::Triple;
+
+// Identifiers for the six permutations.  The enum value is the index into
+// the internal index array.
+enum class Perm : uint8_t { kSpo = 0, kSop, kPso, kPos, kOsp, kOps };
+
+class TripleStore {
+ public:
+  // Takes ownership of `graph`; duplicates are removed while indexing.
+  explicit TripleStore(rdf::Graph graph);
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  const rdf::TermDictionary& dictionary() const {
+    return graph_.dictionary();
+  }
+  rdf::TermDictionary& mutable_dictionary() { return graph_.dictionary(); }
+
+  // Number of distinct triples.
+  size_t size() const { return indexes_[0].size(); }
+
+  // Inserts a batch of triples (terms are interned into the store's
+  // dictionary; duplicates are ignored).  Each permutation index is merged
+  // in O(existing + new).  Returns the number of genuinely new triples.
+  size_t Insert(const std::vector<std::array<rdf::Term, 3>>& triples);
+
+  // Removes every triple matching the pattern (kNullTermId components are
+  // wildcards).  Returns the number of removed triples.  Dictionary
+  // entries are retained (terms may be referenced elsewhere).
+  size_t Erase(TermId s, TermId p, TermId o);
+
+  // Calls `fn(triple)` for every triple matching the pattern; kNullTermId
+  // components are wildcards.  `fn` returns false to stop early.
+  template <typename Fn>
+  void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    auto [perm, lo, hi] = Locate(s, p, o);
+    const std::vector<Triple>& idx = indexes_[static_cast<size_t>(perm)];
+    for (size_t i = lo; i < hi; ++i) {
+      const Triple& t = idx[i];
+      // Residual check: components bound but not part of the located prefix.
+      if (s != kNullTermId && t.s != s) continue;
+      if (p != kNullTermId && t.p != p) continue;
+      if (o != kNullTermId && t.o != o) continue;
+      if (!fn(t)) return;
+    }
+  }
+
+  // Collects up to `limit` matching triples.
+  std::vector<Triple> MatchAll(TermId s, TermId p, TermId o,
+                               size_t limit = SIZE_MAX) const;
+
+  // Number of matching triples.
+  size_t CountMatches(TermId s, TermId p, TermId o) const;
+
+  // True if the fully bound triple exists.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  // Distinct predicates appearing in triples with subject `v`
+  // (outgoingPredicate(v) of Sec. 5.2) / with object `v`
+  // (incomingPredicate(v)).
+  std::vector<TermId> OutgoingPredicates(TermId v) const;
+  std::vector<TermId> IncomingPredicates(TermId v) const;
+
+  // Approximate bytes held by the six indices (dictionary excluded).
+  size_t ApproxIndexBytes() const {
+    return 6 * indexes_[0].capacity() * sizeof(Triple);
+  }
+
+ private:
+  struct Range {
+    Perm perm;
+    size_t lo;
+    size_t hi;
+  };
+
+  // Chooses the best permutation for the bound-component combination and
+  // returns the [lo, hi) range of candidates in that index.
+  Range Locate(TermId s, TermId p, TermId o) const;
+
+  rdf::Graph graph_;
+  // indexes_[Perm]; each holds all triples sorted in that key order.
+  std::array<std::vector<Triple>, 6> indexes_;
+};
+
+}  // namespace kgqan::store
+
+#endif  // KGQAN_STORE_TRIPLE_STORE_H_

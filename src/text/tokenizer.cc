@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace kgqan::text {
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (raw == '\'') {
+      continue;  // "Gray's" -> "grays"
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+bool IsStopWord(std::string_view token) {
+  static constexpr std::array<std::string_view, 38> kStopWords = {
+      "a",    "an",   "and",  "are",  "as",    "at",   "be",   "by",
+      "did",  "do",   "does", "for",  "from",  "has",  "have", "in",
+      "into", "is",   "it",   "its",  "of",    "on",   "one",  "or",
+      "that", "the",  "their", "there", "this", "to",   "was",  "were",
+      "what", "when", "where", "which", "who",  "with"};
+  return std::find(kStopWords.begin(), kStopWords.end(), token) !=
+         kStopWords.end();
+}
+
+std::vector<std::string> ContentTokens(std::string_view s) {
+  std::vector<std::string> all = Tokenize(s);
+  std::vector<std::string> content;
+  for (std::string& t : all) {
+    if (!IsStopWord(t)) content.push_back(std::move(t));
+  }
+  if (content.empty()) return all;
+  return content;
+}
+
+}  // namespace kgqan::text

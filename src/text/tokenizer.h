@@ -1,0 +1,27 @@
+// Word tokenization shared by the full-text index, the embedding models and
+// the NLP helpers: lower-cased maximal alphanumeric runs.
+
+#ifndef KGQAN_TEXT_TOKENIZER_H_
+#define KGQAN_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgqan::text {
+
+// Splits `s` into lower-case alphanumeric tokens.  Punctuation separates
+// tokens; apostrophes inside words are dropped ("Gray's" -> "grays").
+std::vector<std::string> Tokenize(std::string_view s);
+
+// True for very common English function words ("the", "of", "in", ...).
+// Used to keep stop words out of text-containment queries.
+bool IsStopWord(std::string_view token);
+
+// Tokenize + drop stop words (keeps everything if all tokens are stop
+// words, so a query is never emptied entirely).
+std::vector<std::string> ContentTokens(std::string_view s);
+
+}  // namespace kgqan::text
+
+#endif  // KGQAN_TEXT_TOKENIZER_H_

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data in this repository (knowledge graphs, question sets,
+// embedding weights) is produced through Rng seeded with fixed constants so
+// every build reproduces the same experiments bit-for-bit.
+
+#ifndef KGQAN_UTIL_RNG_H_
+#define KGQAN_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kgqan::util {
+
+// SplitMix64: used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// 64-bit FNV-1a; used wherever a stable string hash is needed (embedding
+// buckets, term dictionaries).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// xoshiro256** — small, fast, high-quality deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9D2C5680A1B2C3D4ULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Gaussian via Box-Muller (one value per call; simple and deterministic).
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  // Returns a reference to a uniformly chosen element; `v` must be non-empty.
+  template <typename T>
+  const T& PickOne(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Next() % v.size())];
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Next() % i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+inline double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller transform; avoids u == 0.
+  double u = 0.0;
+  while (u <= 1e-12) u = UniformDouble();
+  double v = UniformDouble();
+  constexpr double kTwoPi = 6.28318530717958647692;
+  double z = std::sqrt(-2.0 * std::log(u)) * std::cos(kTwoPi * v);
+  return mean + stddev * z;
+}
+
+}  // namespace kgqan::util
+
+#endif  // KGQAN_UTIL_RNG_H_

@@ -1,0 +1,143 @@
+// Error-handling primitives for the kgqan library.
+//
+// Library code does not throw exceptions; fallible operations return
+// Status (or StatusOr<T> when they also produce a value).  This mirrors
+// the convention of large C++ database codebases (Arrow, RocksDB).
+
+#ifndef KGQAN_UTIL_STATUS_H_
+#define KGQAN_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kgqan::util {
+
+// Broad error categories; kept deliberately small.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying success or an (error code, message) pair.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Pre-condition: ok().  Aborts otherwise (library code must check ok()).
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace kgqan::util
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is not OK.
+#define KGQAN_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::kgqan::util::Status _kgqan_st = (expr);  \
+    if (!_kgqan_st.ok()) return _kgqan_st;     \
+  } while (false)
+
+// Evaluates `rexpr` (a StatusOr<T> expression); on error returns its status,
+// otherwise moves the value into `lhs`.
+#define KGQAN_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto KGQAN_CONCAT_(_kgqan_sor, __LINE__) = (rexpr);            \
+  if (!KGQAN_CONCAT_(_kgqan_sor, __LINE__).ok())                 \
+    return KGQAN_CONCAT_(_kgqan_sor, __LINE__).status();         \
+  lhs = std::move(KGQAN_CONCAT_(_kgqan_sor, __LINE__)).value()
+
+#define KGQAN_CONCAT_IMPL_(a, b) a##b
+#define KGQAN_CONCAT_(a, b) KGQAN_CONCAT_IMPL_(a, b)
+
+#endif  // KGQAN_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the evaluation harness to time the three
+// KGQAn phases (question understanding, linking, execution & filtration).
+
+#ifndef KGQAN_UTIL_STOPWATCH_H_
+#define KGQAN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kgqan::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kgqan::util
+
+#endif  // KGQAN_UTIL_STOPWATCH_H_

@@ -1,0 +1,202 @@
+// Tests for the synthetic KG builders and the benchmark question
+// generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/benchmark.h"
+#include "benchgen/kg.h"
+#include "benchgen/names.h"
+#include "benchgen/question_gen.h"
+#include "rdf/term.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgqan::benchgen {
+namespace {
+
+TEST(NamePoolTest, DeterministicAndPlausible) {
+  util::Rng r1(5), r2(5);
+  NamePool a(&r1), b(&r2);
+  EXPECT_EQ(a.PersonName(), b.PersonName());
+  EXPECT_EQ(a.PaperTitle(), b.PaperTitle());
+  util::Rng r3(6);
+  NamePool c(&r3);
+  std::string person = c.PersonName();
+  EXPECT_NE(person.find(' '), std::string::npos);  // "First Last".
+  std::string scholar = c.ScholarName();
+  EXPECT_NE(scholar.find(". "), std::string::npos);  // Middle initial.
+}
+
+TEST(NamePoolTest, VenueAcronymsAreUnique) {
+  util::Rng rng(9);
+  NamePool pool(&rng);
+  std::set<std::string> seen;
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(seen.insert(pool.VenueAcronym()).second);
+  }
+}
+
+TEST(GeneralKgTest, BuildsDbpediaFlavor) {
+  BuiltKg kg = BuildGeneralKg(KgFlavor::kDbpedia, 0.2, 1);
+  EXPECT_EQ(kg.name, "DBpedia");
+  EXPECT_GT(kg.graph.size(), 1000u);
+  // Key relations exist with DBpedia-style predicate IRIs.
+  ASSERT_TRUE(kg.predicates.count("spouse"));
+  EXPECT_TRUE(util::StartsWith(kg.predicates.at("spouse"),
+                               "http://dbpedia.org/ontology/"));
+  ASSERT_TRUE(kg.predicates.count("outflow"));
+  EXPECT_EQ(kg.predicates.at("outflow"),
+            "http://dbpedia.org/property/outflow");
+  EXPECT_FALSE(kg.facts.at("capital").empty());
+  EXPECT_FALSE(kg.facts.at("birthDate").empty());
+}
+
+TEST(GeneralKgTest, YagoFlavorUsesSchemaOrgPredicates) {
+  BuiltKg kg = BuildGeneralKg(KgFlavor::kYago, 0.2, 2);
+  EXPECT_EQ(kg.name, "YAGO");
+  EXPECT_TRUE(
+      util::StartsWith(kg.predicates.at("spouse"), "http://schema.org/"));
+}
+
+TEST(GeneralKgTest, DeterministicForSameSeed) {
+  BuiltKg a = BuildGeneralKg(KgFlavor::kDbpedia, 0.1, 3);
+  BuiltKg b = BuildGeneralKg(KgFlavor::kDbpedia, 0.1, 3);
+  EXPECT_EQ(a.graph.size(), b.graph.size());
+  EXPECT_EQ(a.facts.at("spouse").size(), b.facts.at("spouse").size());
+  EXPECT_EQ(a.facts.at("spouse")[0].subject.iri,
+            b.facts.at("spouse")[0].subject.iri);
+}
+
+TEST(ScholarlyKgTest, DblpUrisAreKeyStyle) {
+  BuiltKg kg = BuildScholarlyKg(KgFlavor::kDblp, 0.3, 4);
+  EXPECT_EQ(kg.name, "DBLP");
+  const Fact& f = kg.facts.at("author").front();
+  EXPECT_TRUE(util::StartsWith(f.subject.iri, "https://dblp.org/rec/conf/"));
+  EXPECT_TRUE(util::StartsWith(f.object.value, "https://dblp.org/pid/"));
+  // A minority of author keys embed the name (readable to a URI index).
+  size_t readable = 0, total = 0;
+  std::set<std::string> seen;
+  for (const Fact& g : kg.facts.at("affiliation")) {
+    if (!seen.insert(g.subject.iri).second) continue;
+    ++total;
+    bool numeric_tail =
+        g.subject.iri.find_last_of("0123456789") == g.subject.iri.size() - 1;
+    if (!numeric_tail) ++readable;
+  }
+  EXPECT_GT(readable, 0u);
+  EXPECT_LT(readable * 4, total);  // Well under half.
+}
+
+TEST(ScholarlyKgTest, MagUrisAreOpaqueAndBigger) {
+  BuiltKg mag = BuildScholarlyKg(KgFlavor::kMag, 0.02, 5);
+  BuiltKg dblp = BuildScholarlyKg(KgFlavor::kDblp, 0.02, 5);
+  EXPECT_TRUE(util::StartsWith(mag.facts.at("author").front().subject.iri,
+                               "https://makg.org/entity/"));
+  EXPECT_FALSE(rdf::IsHumanReadableIri(
+      mag.facts.at("author").front().object.value));
+  // At equal scale the MAG-like KG dwarfs the DBLP-like one (Table 2).
+  EXPECT_GT(mag.graph.size(), 10 * dblp.graph.size());
+  // MAG has citation counts and fields of study.
+  EXPECT_FALSE(mag.facts.at("citations").empty());
+  EXPECT_FALSE(mag.facts.at("field").empty());
+  EXPECT_EQ(dblp.facts.count("citations"), 0u);
+}
+
+TEST(WikidataKgTest, PredicatesAreOpaqueButDescribed) {
+  BuiltKg kg = BuildWikidataStyleKg(0.5, 10);
+  EXPECT_EQ(kg.flavor, KgFlavor::kWikidata);
+  const std::string& spouse = kg.predicates.at("spouse");
+  EXPECT_EQ(spouse, "http://www.wikidata.org/prop/direct/P26");
+  EXPECT_FALSE(rdf::IsHumanReadableIri(spouse));
+  // The predicate's description is itself a triple in the KG.
+  auto pid = kg.graph.dictionary().FindIri(spouse);
+  ASSERT_TRUE(pid.has_value());
+  bool has_label = false;
+  for (const rdf::Triple& t : kg.graph.triples()) {
+    if (t.s == *pid) has_label = true;
+  }
+  EXPECT_TRUE(has_label);
+  // Entities are Q-ids.
+  EXPECT_TRUE(util::StartsWith(kg.facts.at("spouse").front().subject.iri,
+                               "http://www.wikidata.org/entity/Q"));
+}
+
+TEST(QuestionGenTest, ProducesRequestedMix) {
+  BuiltKg kg = BuildGeneralKg(KgFlavor::kDbpedia, 0.5, 6);
+  QuestionGenerator gen(&kg, QuestionStyle::kSimple, 7);
+  QuestionMix mix;
+  mix.single_star = 20;
+  mix.type_star = 5;
+  mix.multi_star = 4;
+  mix.multi_path = 3;
+  mix.boolean_star = 2;
+  auto questions = gen.Generate(mix);
+  EXPECT_EQ(questions.size(), mix.Total());
+  size_t booleans = 0, paths = 0;
+  for (const BenchQuestion& q : questions) {
+    if (q.ling == LingClass::kBoolean) ++booleans;
+    if (q.shape == QueryShape::kPath) ++paths;
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_FALSE(q.gold_links.empty());
+  }
+  EXPECT_EQ(booleans, 2u);
+  EXPECT_EQ(paths, 3u);
+}
+
+TEST(QuestionGenTest, QuestionsAreUnique) {
+  BuiltKg kg = BuildGeneralKg(KgFlavor::kDbpedia, 0.5, 8);
+  QuestionGenerator gen(&kg, QuestionStyle::kHandWritten, 9);
+  QuestionMix mix;
+  mix.single_star = 40;
+  auto questions = gen.Generate(mix);
+  std::set<std::string> texts;
+  for (const BenchQuestion& q : questions) texts.insert(q.text);
+  EXPECT_EQ(texts.size(), questions.size());
+}
+
+TEST(BenchmarkTest, GoldAnswersMaterialized) {
+  Benchmark b = BuildBenchmark(BenchmarkId::kQald9, 0.2);
+  EXPECT_EQ(b.name, "QALD-9");
+  EXPECT_GT(b.questions.size(), 10u);
+  for (const BenchQuestion& q : b.questions) {
+    if (q.is_boolean) continue;
+    EXPECT_FALSE(q.gold_answers.empty()) << q.text;
+    EXPECT_LE(q.gold_answers.size(), 25u);
+  }
+}
+
+TEST(BenchmarkTest, NonHardGoldSparqlIsVerifiable) {
+  Benchmark b = BuildBenchmark(BenchmarkId::kYago, 0.2);
+  size_t checked = 0;
+  for (const BenchQuestion& q : b.questions) {
+    if (q.is_boolean || q.gold_sparql.empty()) continue;
+    auto rs = b.endpoint->Query(q.gold_sparql);
+    ASSERT_TRUE(rs.ok()) << q.gold_sparql;
+    EXPECT_EQ(rs->NumRows(), q.gold_answers.size()) << q.text;
+    ++checked;
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+TEST(BenchmarkTest, TaxonomyCompositionFollowsTable5) {
+  Benchmark b = BuildBenchmark(BenchmarkId::kMag, 0.3);
+  size_t paths = 0;
+  for (const BenchQuestion& q : b.questions) {
+    if (q.shape == QueryShape::kPath) ++paths;
+  }
+  // MAG-Bench has the largest path share (23/100 in Table 5).
+  EXPECT_GT(paths, 0u);
+  EXPECT_LT(paths, b.questions.size() / 2);
+}
+
+TEST(BenchmarkTest, AllBenchmarksEnumerated) {
+  auto all = AllBenchmarks();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_STREQ(BenchmarkName(all[0]), "QALD-9");
+  EXPECT_STREQ(BenchmarkName(all[4]), "MAG-Bench");
+}
+
+}  // namespace
+}  // namespace kgqan::benchgen

@@ -1,0 +1,133 @@
+// Tests for POS tagging, the first-noun semantic-type heuristic, and the
+// answer-type classifier.
+
+#include <gtest/gtest.h>
+
+#include "nlp/answer_type.h"
+#include "nlp/pos_tagger.h"
+
+namespace kgqan::nlp {
+namespace {
+
+TEST(PosTaggerTest, ClosedClasses) {
+  PosTagger t;
+  EXPECT_EQ(t.Tag("what"), PosTag::kWh);
+  EXPECT_EQ(t.Tag("is"), PosTag::kAux);
+  EXPECT_EQ(t.Tag("the"), PosTag::kDeterminer);
+  EXPECT_EQ(t.Tag("of"), PosTag::kPreposition);
+  EXPECT_EQ(t.Tag("it"), PosTag::kPronoun);
+  EXPECT_EQ(t.Tag("name"), PosTag::kImperative);
+  EXPECT_EQ(t.Tag("flows"), PosTag::kVerb);
+  EXPECT_EQ(t.Tag("42"), PosTag::kNumber);
+  EXPECT_EQ(t.Tag("sea"), PosTag::kNoun);  // Default.
+}
+
+TEST(PosTaggerTest, TagSentence) {
+  PosTagger t;
+  auto tags = t.TagSentence("What is the capital of Cameroon");
+  ASSERT_EQ(tags.size(), 6u);
+  EXPECT_EQ(tags[0].second, PosTag::kWh);
+  EXPECT_EQ(tags[3].second, PosTag::kNoun);
+  EXPECT_EQ(tags[3].first, "capital");
+}
+
+TEST(FirstNounTest, PaperRunningExample) {
+  EXPECT_EQ(FirstNoun("Name the sea into which Danish Straits flows and has "
+                      "Kaliningrad as one of the city on the shore"),
+            "sea");
+}
+
+TEST(FirstNounTest, SkipsOpenersAndVerbs) {
+  EXPECT_EQ(FirstNoun("Who is the spouse of Barack Obama"), "spouse");
+  EXPECT_EQ(FirstNoun("Which university did Alan Turing attend"),
+            "university");
+  EXPECT_EQ(FirstNoun("When was Alan Turing born"), "alan");
+}
+
+TEST(FirstNounTest, FallbackWhenNoNoun) {
+  EXPECT_EQ(FirstNoun("is it"), "entity");
+  EXPECT_EQ(FirstNoun(""), "entity");
+}
+
+TEST(PosTaggerTest, EdgeCases) {
+  PosTagger t;
+  EXPECT_EQ(t.Tag(""), PosTag::kOther);
+  EXPECT_EQ(t.Tag("and"), PosTag::kOther);
+  EXPECT_EQ(t.Tag("many"), PosTag::kOther);
+  // Capitalization does not matter to Tag (callers lower-case), so raw
+  // upper-case tokens fall through to the noun default.
+  EXPECT_EQ(t.Tag("KWRTX"), PosTag::kNoun);
+  // Numbers with leading digits.
+  EXPECT_EQ(t.Tag("3rd"), PosTag::kNumber);
+}
+
+TEST(FirstNounTest, SkipsNumbersAndImperatives) {
+  EXPECT_EQ(FirstNoun("Name the 3 largest cities of France"), "largest");
+  EXPECT_EQ(FirstNoun("List all 42 papers"), "papers");
+}
+
+TEST(AnswerTypeTest, NamesAreStable) {
+  EXPECT_STREQ(AnswerDataTypeName(AnswerDataType::kDate), "date");
+  EXPECT_STREQ(AnswerDataTypeName(AnswerDataType::kNumerical), "numerical");
+  EXPECT_STREQ(AnswerDataTypeName(AnswerDataType::kBoolean), "boolean");
+  EXPECT_STREQ(AnswerDataTypeName(AnswerDataType::kString), "string");
+}
+
+TEST(AnswerTypeTest, FeaturesIncludeIndicators) {
+  auto f = AnswerTypeClassifier::Features("How many people live in Berlin");
+  EXPECT_NE(std::find(f.begin(), f.end(), "has:how_many"), f.end());
+  auto f2 = AnswerTypeClassifier::Features("Is Berlin big");
+  EXPECT_NE(std::find(f2.begin(), f2.end(), "starts:aux"), f2.end());
+}
+
+class AnswerTypeClassifierTest : public ::testing::Test {
+ protected:
+  AnswerTypeClassifier clf_;
+};
+
+TEST_F(AnswerTypeClassifierTest, TrainsToHighAccuracyOnCorpus) {
+  EXPECT_GE(clf_.training_accuracy(), 0.95);
+}
+
+TEST_F(AnswerTypeClassifierTest, PredictsDates) {
+  EXPECT_EQ(clf_.Predict("When was Grace Hopper born").data_type,
+            AnswerDataType::kDate);
+  EXPECT_EQ(clf_.Predict("When did the empire fall").data_type,
+            AnswerDataType::kDate);
+}
+
+TEST_F(AnswerTypeClassifierTest, PredictsNumericals) {
+  EXPECT_EQ(clf_.Predict("How many rivers cross Vienna").data_type,
+            AnswerDataType::kNumerical);
+  EXPECT_EQ(clf_.Predict("What is the population of Oslo").data_type,
+            AnswerDataType::kNumerical);
+}
+
+TEST_F(AnswerTypeClassifierTest, PredictsBooleans) {
+  EXPECT_EQ(clf_.Predict("Is Oslo the capital of Norway").data_type,
+            AnswerDataType::kBoolean);
+  EXPECT_EQ(clf_.Predict("Did Ada Lovelace write programs").data_type,
+            AnswerDataType::kBoolean);
+}
+
+TEST_F(AnswerTypeClassifierTest, PredictsStringsWithSemanticType) {
+  auto pred = clf_.Predict("Name the sea into which Danish Straits flows");
+  EXPECT_EQ(pred.data_type, AnswerDataType::kString);
+  EXPECT_EQ(pred.semantic_type, "sea");
+  auto pred2 = clf_.Predict("Who is the spouse of Barack Obama");
+  EXPECT_EQ(pred2.data_type, AnswerDataType::kString);
+  EXPECT_EQ(pred2.semantic_type, "spouse");
+}
+
+TEST_F(AnswerTypeClassifierTest, UnseenQuestionsGetReasonableTypes) {
+  // None of these appear verbatim in the training corpus.
+  EXPECT_EQ(clf_.Predict("Which mountain range includes the Eiger").data_type,
+            AnswerDataType::kString);
+  EXPECT_EQ(clf_.Predict("How many papers cite the thesis").data_type,
+            AnswerDataType::kNumerical);
+  EXPECT_EQ(clf_.Predict("Was the bridge built by engineers").data_type,
+            AnswerDataType::kBoolean);
+}
+
+}  // namespace
+}  // namespace kgqan::nlp

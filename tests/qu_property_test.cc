@@ -1,0 +1,118 @@
+// Property tests for question understanding: invariants that must hold
+// for every question the benchmark generators can produce.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/kg.h"
+#include "benchgen/question_gen.h"
+#include "qu/pgp.h"
+#include "qu/triple_pattern_generator.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace kgqan::qu {
+namespace {
+
+TriplePatternGenerator MakeGen() {
+  TriplePatternGenerator::Options opts;
+  opts.inference.enabled = false;
+  return TriplePatternGenerator(opts);
+}
+
+// Invariants of Def. 4.1: every extracted phrase is made of question
+// words; unknowns have positive ids; the main unknown (id 1) exists for
+// non-boolean questions; the PGP has one node per distinct endpoint.
+void CheckInvariants(const std::string& question,
+                     const TriplePatterns& tps) {
+  std::set<std::string> question_tokens;
+  for (const std::string& tok : text::Tokenize(question)) {
+    question_tokens.insert(tok);
+  }
+  bool has_main = false;
+  for (const PhraseTriple& tp : tps) {
+    // Relation words come from the question.
+    for (const std::string& w : text::Tokenize(tp.relation)) {
+      EXPECT_TRUE(question_tokens.count(w))
+          << "relation word '" << w << "' not in: " << question;
+    }
+    for (const PhraseEntity* e : {&tp.a, &tp.b}) {
+      if (e->is_variable) {
+        EXPECT_GT(e->var_id, 0);
+        if (e->var_id == 1) has_main = true;
+        continue;
+      }
+      // Entity phrase words come from the question (case-insensitively).
+      for (const std::string& w : text::Tokenize(e->label)) {
+        EXPECT_TRUE(question_tokens.count(w))
+            << "entity word '" << w << "' not in: " << question;
+      }
+      EXPECT_FALSE(e->label.empty());
+    }
+  }
+  if (!tps.empty()) {
+    Pgp pgp = Pgp::Build(tps);
+    EXPECT_EQ(pgp.edges().size(), tps.size());
+    EXPECT_LE(pgp.nodes().size(), 2 * tps.size());
+    if (!pgp.IsBoolean()) {
+      EXPECT_TRUE(has_main) << question;
+      EXPECT_TRUE(pgp.MainUnknown().has_value()) << question;
+    }
+  }
+}
+
+class QuInvariantTest
+    : public ::testing::TestWithParam<benchgen::QuestionStyle> {};
+
+TEST_P(QuInvariantTest, GeneratedQuestionsRespectDef41) {
+  benchgen::BuiltKg kg =
+      GetParam() == benchgen::QuestionStyle::kScholarly
+          ? benchgen::BuildScholarlyKg(benchgen::KgFlavor::kDblp, 0.3, 61)
+          : benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.3, 62);
+  benchgen::QuestionGenerator qgen(&kg, GetParam(), 63);
+  benchgen::QuestionMix mix;
+  mix.single_star = 40;
+  mix.single_path = 3;
+  mix.type_star = 10;
+  mix.multi_star = 8;
+  mix.multi_path = 3;
+  mix.boolean_star = 4;
+  TriplePatternGenerator gen = MakeGen();
+  size_t understood = 0;
+  auto questions = qgen.Generate(mix);
+  ASSERT_GT(questions.size(), 30u);
+  for (const benchgen::BenchQuestion& q : questions) {
+    TriplePatterns tps = gen.Extract(q.text);
+    if (!tps.empty()) ++understood;
+    CheckInvariants(q.text, tps);
+  }
+  // The generalizing extractor must parse the vast majority of generated
+  // questions, whatever the style.
+  EXPECT_GT(understood * 10, questions.size() * 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Styles, QuInvariantTest,
+    ::testing::Values(benchgen::QuestionStyle::kHandWritten,
+                      benchgen::QuestionStyle::kTemplated,
+                      benchgen::QuestionStyle::kSimple,
+                      benchgen::QuestionStyle::kScholarly));
+
+// Determinism: the extractor is a pure function of the question.
+TEST(QuInvariantTest, ExtractionIsDeterministic) {
+  TriplePatternGenerator a = MakeGen();
+  TriplePatternGenerator b = MakeGen();
+  const char* questions[] = {
+      "Who is the spouse of Barack Obama?",
+      "Name the sea into which Danish Straits flows and has Kaliningrad "
+      "as one of the city on the shore.",
+      "Which paper was written by Alice B. Weber and published in KWRTX?",
+  };
+  for (const char* q : questions) {
+    EXPECT_EQ(a.Extract(q), b.Extract(q));
+  }
+}
+
+}  // namespace
+}  // namespace kgqan::qu

@@ -1,0 +1,214 @@
+// Tests for question understanding: phrase triples, PGP construction, and
+// the Seq2Seq-substitute triple pattern generator.
+
+#include <gtest/gtest.h>
+
+#include "qu/annotated_corpus.h"
+#include "qu/inference_shim.h"
+#include "qu/pgp.h"
+#include "qu/phrase_triple.h"
+#include "qu/triple_pattern_generator.h"
+
+namespace kgqan::qu {
+namespace {
+
+TriplePatternGenerator::Options FastOptions(
+    QuVariant variant = QuVariant::kBartLike) {
+  TriplePatternGenerator::Options opts;
+  opts.variant = variant;
+  opts.inference.enabled = false;  // Tests do not need the cost model.
+  return opts;
+}
+
+TEST(PhraseTripleTest, AnnotatedTextRendering) {
+  TriplePatterns tps = {
+      {Unknown(1, "sea"), "flow", EntityPhrase("Danish Straits")}};
+  std::string text = ToAnnotatedText(tps);
+  EXPECT_NE(text.find("Relation(label=\"flow\")"), std::string::npos);
+  EXPECT_NE(text.find("category=variable, varID=1"), std::string::npos);
+  EXPECT_NE(text.find("Danish Straits"), std::string::npos);
+}
+
+TEST(PgpTest, MergesSharedUnknowns) {
+  TriplePatterns tps = {
+      {Unknown(1, "sea"), "flows", EntityPhrase("Danish Straits")},
+      {Unknown(1, "sea"), "city shore", EntityPhrase("Kaliningrad")}};
+  Pgp pgp = Pgp::Build(tps);
+  EXPECT_EQ(pgp.nodes().size(), 3u);
+  EXPECT_EQ(pgp.edges().size(), 2u);
+  ASSERT_TRUE(pgp.MainUnknown().has_value());
+  EXPECT_FALSE(pgp.IsBoolean());
+  EXPECT_FALSE(pgp.IsPath());
+}
+
+TEST(PgpTest, MergesRepeatedEntities) {
+  TriplePatterns tps = {
+      {Unknown(1, "x"), "p", EntityPhrase("Berlin")},
+      {Unknown(2, "y"), "q", EntityPhrase("Berlin")}};
+  Pgp pgp = Pgp::Build(tps);
+  EXPECT_EQ(pgp.nodes().size(), 3u);  // ?u1, ?u2, Berlin.
+}
+
+TEST(PgpTest, PathDetection) {
+  TriplePatterns tps = {
+      {Unknown(1, "person"), "mayor", Unknown(2, "intermediate")},
+      {Unknown(2, "intermediate"), "capital", EntityPhrase("France")}};
+  Pgp pgp = Pgp::Build(tps);
+  EXPECT_TRUE(pgp.IsPath());
+  EXPECT_EQ(pgp.nodes().size(), 3u);
+}
+
+TEST(PgpTest, BooleanHasNoUnknown) {
+  TriplePatterns tps = {
+      {EntityPhrase("Berlin"), "capital", EntityPhrase("Germany")}};
+  Pgp pgp = Pgp::Build(tps);
+  EXPECT_TRUE(pgp.IsBoolean());
+  EXPECT_FALSE(pgp.MainUnknown().has_value());
+}
+
+TEST(InferenceShimTest, DisabledIsFree) {
+  InferenceShim::Config cfg;
+  cfg.enabled = false;
+  InferenceShim shim(cfg);
+  EXPECT_DOUBLE_EQ(shim.Run(12), 0.0);
+}
+
+TEST(InferenceShimTest, DeterministicChecksum) {
+  InferenceShim::Config cfg;
+  cfg.model_dim = 32;
+  cfg.ffn_dim = 64;
+  cfg.num_layers = 2;
+  InferenceShim a(cfg);
+  InferenceShim b(cfg);
+  EXPECT_DOUBLE_EQ(a.Run(8), b.Run(8));
+  EXPECT_NE(a.Run(8), a.Run(9));
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : gen_(FastOptions()) {}
+  TriplePatternGenerator gen_;
+};
+
+TEST_F(GeneratorTest, RunningExampleQE) {
+  TriplePatterns tps = gen_.Extract(
+      "Name the sea into which Danish Straits flows and has Kaliningrad as "
+      "one of the city on the shore.");
+  ASSERT_EQ(tps.size(), 2u);
+  EXPECT_EQ(tps[0].relation, "flows");
+  EXPECT_EQ(tps[0].b.label, "Danish Straits");
+  EXPECT_TRUE(tps[0].a.is_variable);
+  EXPECT_EQ(tps[0].a.var_id, 1);
+  EXPECT_EQ(tps[1].relation, "city shore");
+  EXPECT_EQ(tps[1].b.label, "Kaliningrad");
+  EXPECT_EQ(tps[1].a.var_id, 1);
+}
+
+TEST_F(GeneratorTest, SimpleWhoQuestion) {
+  TriplePatterns tps = gen_.Extract("Who is the spouse of Barack Obama?");
+  ASSERT_EQ(tps.size(), 1u);
+  EXPECT_EQ(tps[0].relation, "spouse");
+  EXPECT_EQ(tps[0].b.label, "Barack Obama");
+}
+
+TEST_F(GeneratorTest, QuotedTitleBecomesEntity) {
+  TriplePatterns tps =
+      gen_.Extract("Who wrote the paper \"The Transaction Concept\"?");
+  ASSERT_EQ(tps.size(), 1u);
+  EXPECT_EQ(tps[0].relation, "wrote");
+  EXPECT_EQ(tps[0].b.label, "The Transaction Concept");
+}
+
+TEST_F(GeneratorTest, PathQuestionCreatesIntermediate) {
+  TriplePatterns tps =
+      gen_.Extract("Who is the mayor of the capital of France?");
+  ASSERT_EQ(tps.size(), 2u);
+  EXPECT_TRUE(tps[0].b.is_variable);
+  EXPECT_EQ(tps[0].b.var_id, 2);
+  EXPECT_EQ(tps[1].a.var_id, 2);
+  EXPECT_EQ(tps[1].b.label, "France");
+}
+
+TEST_F(GeneratorTest, BooleanQuestion) {
+  TriplePatterns tps = gen_.Extract("Is Berlin the capital of Germany?");
+  ASSERT_EQ(tps.size(), 1u);
+  EXPECT_FALSE(tps[0].a.is_variable);
+  EXPECT_FALSE(tps[0].b.is_variable);
+  EXPECT_EQ(tps[0].a.label, "Berlin");
+  EXPECT_EQ(tps[0].relation, "capital");
+  EXPECT_EQ(tps[0].b.label, "Germany");
+}
+
+TEST_F(GeneratorTest, BridgesOfInEntityNames) {
+  TriplePatterns tps =
+      gen_.Extract("Who is the president of the University of Toronto?");
+  ASSERT_EQ(tps.size(), 1u);
+  EXPECT_EQ(tps[0].b.label, "University of Toronto");
+}
+
+TEST_F(GeneratorTest, UnparseableQuestionYieldsEmpty) {
+  EXPECT_TRUE(gen_.Extract("").empty());
+  EXPECT_TRUE(gen_.Extract("???").empty());
+  // No recognizable entity anywhere.
+  EXPECT_TRUE(gen_.Extract("what is it about then").empty());
+}
+
+TEST_F(GeneratorTest, UnknownTypeLabels) {
+  EXPECT_EQ(gen_.UnknownTypeLabel("Who founded Microsoft?"), "person");
+  EXPECT_EQ(gen_.UnknownTypeLabel("Which sea does the Danish Straits flow "
+                                  "into?"),
+            "sea");
+  EXPECT_EQ(gen_.UnknownTypeLabel("When was Alan Turing born?"), "date");
+  EXPECT_EQ(gen_.UnknownTypeLabel("How many people live in Tokyo?"),
+            "number");
+}
+
+TEST_F(GeneratorTest, CorpusFitIsPerfectForBartVariant) {
+  // The extractor must realize the training corpus exactly — this is the
+  // "training" contract of the simulated Seq2Seq model.
+  EXPECT_DOUBLE_EQ(gen_.CorpusFit(), 1.0);
+}
+
+TEST(GeneratorVariantTest, Gpt3VariantIsCoarser) {
+  TriplePatternGenerator bart(FastOptions(QuVariant::kBartLike));
+  TriplePatternGenerator gpt(FastOptions(QuVariant::kGpt3Like));
+  // Two-word relations survive; the entity-type noun does not get dropped
+  // ("the paper X" leaks "paper" into the relation phrase).
+  TriplePatterns g = gpt.Extract("What is the birth place of Frida Kahlo?");
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].relation, "birth place");
+  TriplePatterns g2 =
+      gpt.Extract("Who wrote the paper \"The Transaction Concept\"?");
+  ASSERT_EQ(g2.size(), 1u);
+  EXPECT_EQ(g2[0].relation, "wrote paper");
+  // Path chains are not decomposed.
+  TriplePatterns g3 =
+      gpt.Extract("Who is the mayor of the capital of France?");
+  EXPECT_EQ(g3.size(), 1u);
+  // Overall: lower corpus fit than the BART-like variant, but close
+  // (Table 4's small deltas).
+  EXPECT_LT(gpt.CorpusFit(), bart.CorpusFit());
+  EXPECT_GT(gpt.CorpusFit(), 0.7);
+}
+
+// Every corpus entry must extract exactly (parameterized regression sweep).
+class CorpusRegressionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CorpusRegressionTest, ExtractsGoldTriples) {
+  const AnnotatedQuestion& ex = TrainingCorpus()[GetParam()];
+  TriplePatternGenerator gen(FastOptions());
+  TriplePatterns got = gen.Extract(ex.question);
+  EXPECT_EQ(got, ex.gold) << "question: " << ex.question << "\ngot: "
+                          << ToAnnotatedText(got) << "\nwant: "
+                          << ToAnnotatedText(ex.gold);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpusEntries, CorpusRegressionTest,
+                         ::testing::Range<size_t>(0, 76));
+
+TEST(CorpusTest, SizeMatchesRegressionRange) {
+  EXPECT_EQ(TrainingCorpus().size(), 76u);
+}
+
+}  // namespace
+}  // namespace kgqan::qu

@@ -1,0 +1,259 @@
+// Unit and property tests for the hexastore-style TripleStore.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <tuple>
+
+#include "rdf/graph.h"
+#include "store/triple_store.h"
+#include "util/rng.h"
+
+namespace kgqan::store {
+namespace {
+
+using rdf::Graph;
+using rdf::Iri;
+using rdf::StringLiteral;
+using rdf::Term;
+using rdf::TermId;
+
+Graph SmallGraph() {
+  Graph g;
+  g.AddIris("http://x/danish_straits", "http://x/outflow", "http://x/baltic");
+  g.AddIris("http://x/baltic", "http://x/nearestCity", "http://x/kaliningrad");
+  g.AddIris("http://x/baltic", "http://x/type", "http://x/Sea");
+  g.AddIri("http://x/baltic", "http://x/label", StringLiteral("Baltic Sea"));
+  g.AddIris("http://x/kaliningrad", "http://x/country", "http://x/russia");
+  return g;
+}
+
+TEST(TripleStoreTest, DeduplicatesOnBuild) {
+  Graph g;
+  g.AddIris("http://x/a", "http://x/p", "http://x/b");
+  g.AddIris("http://x/a", "http://x/p", "http://x/b");
+  TripleStore store(std::move(g));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TripleStoreTest, FullyBoundLookup) {
+  Graph g = SmallGraph();
+  TermId s = *g.dictionary().FindIri("http://x/danish_straits");
+  TermId p = *g.dictionary().FindIri("http://x/outflow");
+  TermId o = *g.dictionary().FindIri("http://x/baltic");
+  TripleStore store(std::move(g));
+  EXPECT_TRUE(store.Contains(s, p, o));
+  EXPECT_FALSE(store.Contains(o, p, s));
+  EXPECT_EQ(store.CountMatches(s, p, o), 1u);
+}
+
+TEST(TripleStoreTest, SubjectScan) {
+  Graph g = SmallGraph();
+  TermId baltic = *g.dictionary().FindIri("http://x/baltic");
+  TripleStore store(std::move(g));
+  EXPECT_EQ(store.CountMatches(baltic, rdf::kNullTermId, rdf::kNullTermId),
+            3u);
+}
+
+TEST(TripleStoreTest, ObjectScan) {
+  Graph g = SmallGraph();
+  TermId baltic = *g.dictionary().FindIri("http://x/baltic");
+  TripleStore store(std::move(g));
+  auto triples =
+      store.MatchAll(rdf::kNullTermId, rdf::kNullTermId, baltic);
+  EXPECT_EQ(triples.size(), 1u);
+}
+
+TEST(TripleStoreTest, MatchAllRespectsLimit) {
+  Graph g = SmallGraph();
+  TripleStore store(std::move(g));
+  auto triples =
+      store.MatchAll(rdf::kNullTermId, rdf::kNullTermId, rdf::kNullTermId, 2);
+  EXPECT_EQ(triples.size(), 2u);
+}
+
+TEST(TripleStoreTest, OutgoingAndIncomingPredicates) {
+  Graph g = SmallGraph();
+  TermId baltic = *g.dictionary().FindIri("http://x/baltic");
+  TermId outflow = *g.dictionary().FindIri("http://x/outflow");
+  TermId nearest = *g.dictionary().FindIri("http://x/nearestCity");
+  TripleStore store(std::move(g));
+
+  std::vector<TermId> out = store.OutgoingPredicates(baltic);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(std::find(out.begin(), out.end(), nearest) != out.end());
+
+  std::vector<TermId> in = store.IncomingPredicates(baltic);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0], outflow);
+}
+
+TEST(TripleStoreTest, EarlyTerminationInMatch) {
+  Graph g = SmallGraph();
+  TripleStore store(std::move(g));
+  int count = 0;
+  store.Match(rdf::kNullTermId, rdf::kNullTermId, rdf::kNullTermId,
+              [&](const rdf::Triple&) {
+                ++count;
+                return count < 2;
+              });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TripleStoreTest, IndexBytesScaleWithSize) {
+  Graph small = SmallGraph();
+  TripleStore s1(std::move(small));
+  Graph big;
+  for (int i = 0; i < 1000; ++i) {
+    big.AddIris("http://x/s" + std::to_string(i), "http://x/p",
+                "http://x/o" + std::to_string(i % 100));
+  }
+  TripleStore s2(std::move(big));
+  EXPECT_GT(s2.ApproxIndexBytes(), s1.ApproxIndexBytes());
+}
+
+TEST(TripleStoreTest, InsertMergesNewTriples) {
+  Graph g = SmallGraph();
+  TripleStore store(std::move(g));
+  size_t before = store.size();
+
+  std::vector<std::array<Term, 3>> batch;
+  batch.push_back({Iri("http://x/volga"), Iri("http://x/riverMouth"),
+                   Iri("http://x/caspian")});
+  batch.push_back({Iri("http://x/danish_straits"), Iri("http://x/outflow"),
+                   Iri("http://x/baltic")});  // Duplicate of existing.
+  size_t added = store.Insert(batch);
+  EXPECT_EQ(added, 1u);
+  EXPECT_EQ(store.size(), before + 1);
+
+  TermId volga = *store.dictionary().FindIri("http://x/volga");
+  TermId mouth = *store.dictionary().FindIri("http://x/riverMouth");
+  TermId caspian = *store.dictionary().FindIri("http://x/caspian");
+  EXPECT_TRUE(store.Contains(volga, mouth, caspian));
+  // All six orderings answer for the new triple.
+  EXPECT_EQ(store.CountMatches(rdf::kNullTermId, rdf::kNullTermId, caspian),
+            1u);
+  EXPECT_EQ(store.CountMatches(rdf::kNullTermId, mouth, rdf::kNullTermId),
+            1u);
+}
+
+TEST(TripleStoreTest, EraseByPattern) {
+  Graph g = SmallGraph();
+  TermId baltic = *g.dictionary().FindIri("http://x/baltic");
+  TripleStore store(std::move(g));
+  size_t before = store.size();
+  // Erase everything with subject baltic (3 triples).
+  size_t removed = store.Erase(baltic, rdf::kNullTermId, rdf::kNullTermId);
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(store.size(), before - 3);
+  EXPECT_EQ(store.CountMatches(baltic, rdf::kNullTermId, rdf::kNullTermId),
+            0u);
+  // The incoming edge to baltic survives, and all orderings agree.
+  EXPECT_EQ(store.CountMatches(rdf::kNullTermId, rdf::kNullTermId, baltic),
+            1u);
+  // Erasing again removes nothing.
+  EXPECT_EQ(store.Erase(baltic, rdf::kNullTermId, rdf::kNullTermId), 0u);
+}
+
+TEST(TripleStoreTest, EraseThenInsertRoundTrip) {
+  Graph g = SmallGraph();
+  TermId s = *g.dictionary().FindIri("http://x/danish_straits");
+  TermId p = *g.dictionary().FindIri("http://x/outflow");
+  TermId o = *g.dictionary().FindIri("http://x/baltic");
+  TripleStore store(std::move(g));
+  EXPECT_EQ(store.Erase(s, p, o), 1u);
+  EXPECT_FALSE(store.Contains(s, p, o));
+  std::vector<std::array<Term, 3>> batch;
+  batch.push_back({Iri("http://x/danish_straits"), Iri("http://x/outflow"),
+                   Iri("http://x/baltic")});
+  EXPECT_EQ(store.Insert(batch), 1u);
+  EXPECT_TRUE(store.Contains(s, p, o));
+}
+
+TEST(TripleStoreTest, InsertEmptyAndDuplicateBatches) {
+  Graph g = SmallGraph();
+  TripleStore store(std::move(g));
+  size_t before = store.size();
+  EXPECT_EQ(store.Insert({}), 0u);
+  std::vector<std::array<Term, 3>> twice;
+  twice.push_back({Iri("http://x/new"), Iri("http://x/p"), Iri("http://x/q")});
+  twice.push_back({Iri("http://x/new"), Iri("http://x/p"), Iri("http://x/q")});
+  EXPECT_EQ(store.Insert(twice), 1u);
+  EXPECT_EQ(store.size(), before + 1);
+}
+
+// ---- Property tests: every bound-component combination must agree with a
+// naive scan, across several random graphs. ----
+
+class TripleStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TripleStorePropertyTest, MatchesAgreeWithNaiveScan) {
+  util::Rng rng(GetParam());
+  Graph g;
+  const int kSubjects = 20, kPredicates = 6, kObjects = 25;
+  const int kTriples = 300;
+  for (int i = 0; i < kTriples; ++i) {
+    g.AddIris("http://x/s" + std::to_string(rng.UniformInt(0, kSubjects - 1)),
+              "http://x/p" + std::to_string(rng.UniformInt(0, kPredicates - 1)),
+              "http://x/o" + std::to_string(rng.UniformInt(0, kObjects - 1)));
+  }
+  // Snapshot triples (deduplicated) before the store consumes the graph.
+  std::set<rdf::Triple> expected_all(g.triples().begin(), g.triples().end());
+  TripleStore store(std::move(g));
+  ASSERT_EQ(store.size(), expected_all.size());
+
+  // Probe a sample of patterns for all 8 bound/unbound combinations.
+  std::vector<rdf::Triple> universe(expected_all.begin(), expected_all.end());
+  for (int probe = 0; probe < 50; ++probe) {
+    const rdf::Triple& t = universe[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(universe.size()) - 1))];
+    for (int mask = 0; mask < 8; ++mask) {
+      TermId s = (mask & 1) ? t.s : rdf::kNullTermId;
+      TermId p = (mask & 2) ? t.p : rdf::kNullTermId;
+      TermId o = (mask & 4) ? t.o : rdf::kNullTermId;
+      std::set<rdf::Triple> naive;
+      for (const rdf::Triple& u : universe) {
+        if (s != rdf::kNullTermId && u.s != s) continue;
+        if (p != rdf::kNullTermId && u.p != p) continue;
+        if (o != rdf::kNullTermId && u.o != o) continue;
+        naive.insert(u);
+      }
+      auto got_vec = store.MatchAll(s, p, o);
+      std::set<rdf::Triple> got(got_vec.begin(), got_vec.end());
+      EXPECT_EQ(got, naive) << "mask=" << mask;
+      EXPECT_EQ(store.CountMatches(s, p, o), naive.size()) << "mask=" << mask;
+    }
+  }
+}
+
+TEST_P(TripleStorePropertyTest, PredicateListsAgreeWithNaiveScan) {
+  util::Rng rng(GetParam() ^ 0xABCDEF);
+  Graph g;
+  for (int i = 0; i < 200; ++i) {
+    g.AddIris("http://x/s" + std::to_string(rng.UniformInt(0, 14)),
+              "http://x/p" + std::to_string(rng.UniformInt(0, 9)),
+              "http://x/s" + std::to_string(rng.UniformInt(0, 14)));
+  }
+  std::vector<rdf::Triple> universe(g.triples().begin(), g.triples().end());
+  rdf::TermId max_id = g.dictionary().MaxId();
+  TripleStore store(std::move(g));
+  for (TermId v = 1; v <= max_id; ++v) {
+    std::set<TermId> out_naive, in_naive;
+    for (const rdf::Triple& t : universe) {
+      if (t.s == v) out_naive.insert(t.p);
+      if (t.o == v) in_naive.insert(t.p);
+    }
+    auto out = store.OutgoingPredicates(v);
+    auto in = store.IncomingPredicates(v);
+    EXPECT_EQ(std::set<TermId>(out.begin(), out.end()), out_naive);
+    EXPECT_EQ(std::set<TermId>(in.begin(), in.end()), in_naive);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+}  // namespace
+}  // namespace kgqan::store

@@ -1,0 +1,162 @@
+// Unit tests for the tokenizer and the full-text literal index.
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "store/triple_store.h"
+#include "text/text_index.h"
+#include "text/tokenizer.h"
+
+namespace kgqan::text {
+namespace {
+
+using rdf::Graph;
+using rdf::LangLiteral;
+using rdf::StringLiteral;
+using rdf::TermId;
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("Danish Straits, Baltic!"),
+            (std::vector<std::string>{"danish", "straits", "baltic"}));
+}
+
+TEST(TokenizerTest, DropsApostrophes) {
+  EXPECT_EQ(Tokenize("Jim Gray's papers"),
+            (std::vector<std::string>{"jim", "grays", "papers"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("YAGO-4 2022"),
+            (std::vector<std::string>{"yago", "4", "2022"}));
+}
+
+TEST(TokenizerTest, EmptyInput) { EXPECT_TRUE(Tokenize("").empty()); }
+
+TEST(TokenizerTest, StopWords) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("of"));
+  EXPECT_FALSE(IsStopWord("sea"));
+}
+
+TEST(TokenizerTest, ContentTokensDropStopWordsButNeverAll) {
+  EXPECT_EQ(ContentTokens("the city on the shore"),
+            (std::vector<std::string>{"city", "shore"}));
+  // All stop words: keep everything rather than returning nothing.
+  EXPECT_EQ(ContentTokens("the of"),
+            (std::vector<std::string>{"the", "of"}));
+}
+
+TEST(ContainsQueryTest, ParsesSingleWord) {
+  auto q = ParseContainsQuery("kaliningrad");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->or_groups.size(), 1u);
+  EXPECT_EQ(q->or_groups[0], (std::vector<std::string>{"kaliningrad"}));
+}
+
+TEST(ContainsQueryTest, ParsesOrOfWords) {
+  auto q = ParseContainsQuery("'danish' OR 'straits'");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->or_groups.size(), 2u);
+}
+
+TEST(ContainsQueryTest, AndBindsTighterThanOr) {
+  auto q = ParseContainsQuery("a AND b OR c");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->or_groups.size(), 2u);
+  EXPECT_EQ(q->or_groups[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(q->or_groups[1], (std::vector<std::string>{"c"}));
+}
+
+TEST(ContainsQueryTest, QuotedPhraseBecomesAndGroup) {
+  auto q = ParseContainsQuery("'danish straits'");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->or_groups.size(), 1u);
+  EXPECT_EQ(q->or_groups[0], (std::vector<std::string>{"danish", "straits"}));
+}
+
+TEST(ContainsQueryTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseContainsQuery("").ok());
+  EXPECT_FALSE(ParseContainsQuery("OR a").ok());
+  EXPECT_FALSE(ParseContainsQuery("a OR").ok());
+  EXPECT_FALSE(ParseContainsQuery("'unterminated").ok());
+}
+
+class TextIndexTest : public ::testing::Test {
+ protected:
+  TextIndexTest() : store_(BuildGraph()), index_(store_) {}
+
+  static Graph BuildGraph() {
+    Graph g;
+    g.AddIri("http://x/kaliningrad", "http://x/label",
+             StringLiteral("Kaliningrad"));
+    g.AddIri("http://x/yantar", "http://x/label",
+             StringLiteral("Yantar, Kaliningrad"));
+    g.AddIri("http://x/baltic", "http://x/label",
+             LangLiteral("Baltic Sea", "en"));
+    g.AddIri("http://x/danish", "http://x/label",
+             StringLiteral("Danish Straits"));
+    g.AddIri("http://x/danish", "http://x/depth", rdf::IntLiteral(30));
+    g.AddIris("http://x/danish", "http://x/outflow", "http://x/baltic");
+    return g;
+  }
+
+  rdf::TermId LiteralId(const std::string& text) const {
+    auto id = store_.dictionary().Find(StringLiteral(text));
+    return id.value_or(rdf::kNullTermId);
+  }
+
+  store::TripleStore store_;
+  TextIndex index_;
+};
+
+TEST_F(TextIndexTest, SingleWordMatch) {
+  auto q = ParseContainsQuery("kaliningrad");
+  auto hits = index_.MatchLiterals(*q, 10);
+  ASSERT_EQ(hits.size(), 2u);
+}
+
+TEST_F(TextIndexTest, RanksMoreHitsFirst) {
+  auto q = ParseContainsQuery("'yantar' OR 'kaliningrad'");
+  auto hits = index_.MatchLiterals(*q, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  // "Yantar, Kaliningrad" contains both query words: ranked first.
+  EXPECT_EQ(hits[0], LiteralId("Yantar, Kaliningrad"));
+}
+
+TEST_F(TextIndexTest, AndRequiresAllWords) {
+  auto q = ParseContainsQuery("yantar AND kaliningrad");
+  auto hits = index_.MatchLiterals(*q, 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], LiteralId("Yantar, Kaliningrad"));
+}
+
+TEST_F(TextIndexTest, LimitTruncates) {
+  auto q = ParseContainsQuery("kaliningrad");
+  auto hits = index_.MatchLiterals(*q, 1);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(TextIndexTest, MatchesLangTaggedLiterals) {
+  auto q = ParseContainsQuery("baltic");
+  auto hits = index_.MatchLiterals(*q, 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(TextIndexTest, NumericLiteralsNotIndexed) {
+  auto q = ParseContainsQuery("30");
+  auto hits = index_.MatchLiterals(*q, 10);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(TextIndexTest, NoMatchReturnsEmpty) {
+  auto q = ParseContainsQuery("atlantis");
+  EXPECT_TRUE(index_.MatchLiterals(*q, 10).empty());
+}
+
+TEST_F(TextIndexTest, PostingCountAndBytesPositive) {
+  EXPECT_GT(index_.posting_count(), 0u);
+  EXPECT_GT(index_.ApproxIndexBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace kgqan::text

@@ -1,0 +1,165 @@
+// Tests for the Turtle parser and writer.
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+
+namespace kgqan::rdf {
+namespace {
+
+TEST(TurtleParseTest, PrefixesAndAbbreviations) {
+  auto g = ParseTurtle(R"(
+@prefix dbr: <http://dbpedia.org/resource/> .
+@prefix dbo: <http://dbpedia.org/ontology/> .
+
+dbr:Baltic_Sea a dbo:Sea ;
+    dbo:nearestCity dbr:Kaliningrad , dbr:Gdansk .
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->size(), 3u);
+  const TermDictionary& dict = g->dictionary();
+  EXPECT_TRUE(
+      dict.FindIri("http://dbpedia.org/resource/Baltic_Sea").has_value());
+  EXPECT_TRUE(
+      dict.FindIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+          .has_value());
+  EXPECT_TRUE(dict.FindIri("http://dbpedia.org/resource/Gdansk").has_value());
+}
+
+TEST(TurtleParseTest, SparqlStylePrefix) {
+  auto g = ParseTurtle(
+      "PREFIX ex: <http://x/>\n"
+      "ex:a ex:p ex:b .\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->size(), 1u);
+}
+
+TEST(TurtleParseTest, Literals) {
+  auto g = ParseTurtle(R"(
+@prefix ex: <http://x/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:label "plain" ;
+     ex:name "nom"@fr ;
+     ex:height 42 ;
+     ex:ratio 3.5 ;
+     ex:flag true ;
+     ex:date "1999-01-01"^^xsd:date ;
+     ex:long """line1
+line2""" .
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_EQ(g->size(), 7u);
+  const TermDictionary& dict = g->dictionary();
+  EXPECT_TRUE(dict.Find(StringLiteral("plain")).has_value());
+  EXPECT_TRUE(dict.Find(LangLiteral("nom", "fr")).has_value());
+  EXPECT_TRUE(dict.Find(IntLiteral(42)).has_value());
+  EXPECT_TRUE(
+      dict.Find(TypedLiteral("3.5", std::string(vocab::kXsdDouble)))
+          .has_value());
+  EXPECT_TRUE(dict.Find(BoolLiteral(true)).has_value());
+  EXPECT_TRUE(dict.Find(DateLiteral("1999-01-01")).has_value());
+  EXPECT_TRUE(dict.Find(StringLiteral("line1\nline2")).has_value());
+}
+
+TEST(TurtleParseTest, BlankNodes) {
+  auto g = ParseTurtle(
+      "@prefix ex: <http://x/> .\n"
+      "_:b1 ex:p [] .\n"
+      "_:b1 ex:q _:b2 .\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->size(), 2u);
+  EXPECT_TRUE(g->dictionary().Get(g->triples()[0].s).IsBlank());
+  EXPECT_TRUE(g->dictionary().Get(g->triples()[0].o).IsBlank());
+}
+
+TEST(TurtleParseTest, BaseResolution) {
+  auto g = ParseTurtle(
+      "@base <http://x/ns/> .\n"
+      "<a> <p> <b> .\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_TRUE(g->dictionary().FindIri("http://x/ns/a").has_value());
+}
+
+TEST(TurtleParseTest, CommentsAndTrailingSemicolon) {
+  auto g = ParseTurtle(
+      "@prefix ex: <http://x/> . # namespace\n"
+      "ex:a ex:p ex:b ; # trailing semicolon before the dot\n"
+      "     .\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->size(), 1u);
+}
+
+TEST(TurtleParseTest, SubjectNamedPrefixIsNotADeclaration) {
+  auto g = ParseTurtle(
+      "@prefix prefix: <http://x/> .\n"
+      "prefix:foo prefix:p prefix:bar .\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->size(), 1u);
+}
+
+TEST(TurtleParseTest, ClearErrors) {
+  EXPECT_FALSE(ParseTurtle("ex:a ex:p ex:b .").ok());  // Unknown prefix.
+  EXPECT_FALSE(ParseTurtle("@prefix ex: <http://x/> .\n"
+                           "ex:a ex:p (1 2 3) .")
+                   .ok());  // Collections unsupported.
+  EXPECT_FALSE(ParseTurtle("@prefix ex: <http://x/> .\n"
+                           "ex:a ex:p [ ex:q ex:b ] .")
+                   .ok());  // Bracketed property lists unsupported.
+  EXPECT_FALSE(ParseTurtle("@prefix ex: <http://x/> .\n"
+                           "ex:a ex:p \"unterminated .")
+                   .ok());
+  EXPECT_FALSE(ParseTurtle("@prefix ex: <http://x/> .\nex:a ex:p ex:b")
+                   .ok());  // Missing dot.
+  // Errors carry line numbers.
+  auto bad = ParseTurtle("@prefix ex: <http://x/> .\nex:a zz:p ex:b .\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TurtleWriteTest, GroupsAndCompresses) {
+  Graph g;
+  g.AddIris("http://x/a", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            "http://x/T");
+  g.AddIris("http://x/a", "http://x/p", "http://x/b");
+  g.AddIris("http://x/a", "http://x/p", "http://x/c");
+  g.AddIri("http://x/b", "http://x/label", StringLiteral("bee"));
+  std::string ttl = WriteTurtle(g, {{"ex", "http://x/"}});
+  EXPECT_NE(ttl.find("@prefix ex: <http://x/> ."), std::string::npos);
+  EXPECT_NE(ttl.find("ex:a a ex:T"), std::string::npos);
+  EXPECT_NE(ttl.find("ex:b, ex:c"), std::string::npos);  // Object list.
+  EXPECT_NE(ttl.find(";"), std::string::npos);           // Predicate list.
+}
+
+TEST(TurtleWriteTest, RoundTripPreservesTriples) {
+  Graph g;
+  g.AddIris("http://x/danish_straits", "http://x/outflow", "http://x/baltic");
+  g.AddIri("http://x/baltic", "http://x/label",
+           LangLiteral("Baltic Sea", "en"));
+  g.AddIri("http://x/baltic", "http://x/depth", IntLiteral(459));
+  std::string ttl = WriteTurtle(g, {{"ex", "http://x/"}});
+  auto parsed = ParseTurtle(ttl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << ttl;
+  // Same triples regardless of order: compare via N-Triples lines.
+  auto lines = [](const Graph& graph) {
+    std::vector<std::string> ls;
+    const TermDictionary& d = graph.dictionary();
+    for (const Triple& t : graph.triples()) {
+      ls.push_back(ToNTriples(d.Get(t.s)) + " " + ToNTriples(d.Get(t.p)) +
+                   " " + ToNTriples(d.Get(t.o)));
+    }
+    std::sort(ls.begin(), ls.end());
+    return ls;
+  };
+  EXPECT_EQ(lines(g), lines(*parsed));
+}
+
+TEST(TurtleWriteTest, UncompressibleIrisStayAngled) {
+  Graph g;
+  g.AddIris("http://other/a", "http://other/p", "http://other/b");
+  std::string ttl = WriteTurtle(g, {{"ex", "http://x/"}});
+  EXPECT_NE(ttl.find("<http://other/a>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgqan::rdf
