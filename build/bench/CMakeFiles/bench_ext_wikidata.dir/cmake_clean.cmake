@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wikidata.dir/bench_ext_wikidata.cc.o"
+  "CMakeFiles/bench_ext_wikidata.dir/bench_ext_wikidata.cc.o.d"
+  "bench_ext_wikidata"
+  "bench_ext_wikidata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wikidata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_filtration.dir/bench_fig10_filtration.cc.o"
+  "CMakeFiles/bench_fig10_filtration.dir/bench_fig10_filtration.cc.o.d"
+  "bench_fig10_filtration"
+  "bench_fig10_filtration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_filtration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_linking.dir/bench_fig9_linking.cc.o"
+  "CMakeFiles/bench_fig9_linking.dir/bench_fig9_linking.cc.o.d"
+  "bench_fig9_linking"
+  "bench_fig9_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

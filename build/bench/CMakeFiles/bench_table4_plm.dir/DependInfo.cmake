@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_plm.cc" "bench/CMakeFiles/bench_table4_plm.dir/bench_table4_plm.cc.o" "gcc" "bench/CMakeFiles/bench_table4_plm.dir/bench_table4_plm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kgqan_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kgqan_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/kgqan_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kgqan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/kgqan_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/qu/CMakeFiles/kgqan_qu.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/kgqan_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/kgqan_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kgqan_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kgqan_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/kgqan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgqan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

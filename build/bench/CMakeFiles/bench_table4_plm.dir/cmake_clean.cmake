@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_plm.dir/bench_table4_plm.cc.o"
+  "CMakeFiles/bench_table4_plm.dir/bench_table4_plm.cc.o.d"
+  "bench_table4_plm"
+  "bench_table4_plm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_plm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

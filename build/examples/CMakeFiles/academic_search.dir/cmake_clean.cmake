@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/academic_search.dir/academic_search.cpp.o"
+  "CMakeFiles/academic_search.dir/academic_search.cpp.o.d"
+  "academic_search"
+  "academic_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/academic_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptic_kg.dir/cryptic_kg.cpp.o"
+  "CMakeFiles/cryptic_kg.dir/cryptic_kg.cpp.o.d"
+  "cryptic_kg"
+  "cryptic_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptic_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_cli.dir/kgqan_cli.cpp.o"
+  "CMakeFiles/kgqan_cli.dir/kgqan_cli.cpp.o.d"
+  "kgqan_cli"
+  "kgqan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

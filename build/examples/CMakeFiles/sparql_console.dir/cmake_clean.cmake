@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_console.dir/sparql_console.cpp.o"
+  "CMakeFiles/sparql_console.dir/sparql_console.cpp.o.d"
+  "sparql_console"
+  "sparql_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

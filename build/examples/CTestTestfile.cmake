@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "Baltic_Sea" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_academic_search "/root/repo/build/examples/academic_search")
+set_tests_properties(example_academic_search PROPERTIES  PASS_REGULAR_EXPRESSION "A: <" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cryptic_kg "/root/repo/build/examples/cryptic_kg")
+set_tests_properties(example_cryptic_kg PROPERTIES  PASS_REGULAR_EXPRESSION "\\[KGQAn\\] answers: [1-9]" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sparql_console "/root/repo/build/examples/sparql_console")
+set_tests_properties(example_sparql_console PROPERTIES  PASS_REGULAR_EXPRESSION "demo>" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kgqan_cli "/root/repo/build/examples/kgqan_cli")
+set_tests_properties(example_kgqan_cli PROPERTIES  PASS_REGULAR_EXPRESSION "KG ready" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_export_benchmark "/root/repo/build/examples/export_benchmark" "yago" "/root/repo/build/examples/yago_export" "0.1")
+set_tests_properties(example_export_benchmark PROPERTIES  PASS_REGULAR_EXPRESSION "exported YAGO-Bench" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

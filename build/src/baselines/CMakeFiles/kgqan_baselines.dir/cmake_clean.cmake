@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_baselines.dir/edgqa_like.cc.o"
+  "CMakeFiles/kgqan_baselines.dir/edgqa_like.cc.o.d"
+  "CMakeFiles/kgqan_baselines.dir/ganswer_like.cc.o"
+  "CMakeFiles/kgqan_baselines.dir/ganswer_like.cc.o.d"
+  "CMakeFiles/kgqan_baselines.dir/label_index.cc.o"
+  "CMakeFiles/kgqan_baselines.dir/label_index.cc.o.d"
+  "CMakeFiles/kgqan_baselines.dir/rule_qu.cc.o"
+  "CMakeFiles/kgqan_baselines.dir/rule_qu.cc.o.d"
+  "libkgqan_baselines.a"
+  "libkgqan_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/benchmark.cc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/benchmark.cc.o" "gcc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/benchmark.cc.o.d"
+  "/root/repo/src/benchgen/general_kg.cc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/general_kg.cc.o" "gcc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/general_kg.cc.o.d"
+  "/root/repo/src/benchgen/names.cc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/names.cc.o" "gcc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/names.cc.o.d"
+  "/root/repo/src/benchgen/question_gen.cc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/question_gen.cc.o" "gcc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/question_gen.cc.o.d"
+  "/root/repo/src/benchgen/scholarly_kg.cc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/scholarly_kg.cc.o" "gcc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/scholarly_kg.cc.o.d"
+  "/root/repo/src/benchgen/wikidata_kg.cc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/wikidata_kg.cc.o" "gcc" "src/benchgen/CMakeFiles/kgqan_benchgen.dir/wikidata_kg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparql/CMakeFiles/kgqan_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kgqan_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/kgqan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgqan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kgqan_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_benchgen.dir/benchmark.cc.o"
+  "CMakeFiles/kgqan_benchgen.dir/benchmark.cc.o.d"
+  "CMakeFiles/kgqan_benchgen.dir/general_kg.cc.o"
+  "CMakeFiles/kgqan_benchgen.dir/general_kg.cc.o.d"
+  "CMakeFiles/kgqan_benchgen.dir/names.cc.o"
+  "CMakeFiles/kgqan_benchgen.dir/names.cc.o.d"
+  "CMakeFiles/kgqan_benchgen.dir/question_gen.cc.o"
+  "CMakeFiles/kgqan_benchgen.dir/question_gen.cc.o.d"
+  "CMakeFiles/kgqan_benchgen.dir/scholarly_kg.cc.o"
+  "CMakeFiles/kgqan_benchgen.dir/scholarly_kg.cc.o.d"
+  "CMakeFiles/kgqan_benchgen.dir/wikidata_kg.cc.o"
+  "CMakeFiles/kgqan_benchgen.dir/wikidata_kg.cc.o.d"
+  "libkgqan_benchgen.a"
+  "libkgqan_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bgp.cc" "src/core/CMakeFiles/kgqan_core.dir/bgp.cc.o" "gcc" "src/core/CMakeFiles/kgqan_core.dir/bgp.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/kgqan_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/kgqan_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/filtration.cc" "src/core/CMakeFiles/kgqan_core.dir/filtration.cc.o" "gcc" "src/core/CMakeFiles/kgqan_core.dir/filtration.cc.o.d"
+  "/root/repo/src/core/linker.cc" "src/core/CMakeFiles/kgqan_core.dir/linker.cc.o" "gcc" "src/core/CMakeFiles/kgqan_core.dir/linker.cc.o.d"
+  "/root/repo/src/core/multi_intention.cc" "src/core/CMakeFiles/kgqan_core.dir/multi_intention.cc.o" "gcc" "src/core/CMakeFiles/kgqan_core.dir/multi_intention.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qu/CMakeFiles/kgqan_qu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/kgqan_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/kgqan_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/kgqan_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kgqan_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/kgqan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgqan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kgqan_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

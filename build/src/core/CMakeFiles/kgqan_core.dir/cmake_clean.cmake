@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_core.dir/bgp.cc.o"
+  "CMakeFiles/kgqan_core.dir/bgp.cc.o.d"
+  "CMakeFiles/kgqan_core.dir/engine.cc.o"
+  "CMakeFiles/kgqan_core.dir/engine.cc.o.d"
+  "CMakeFiles/kgqan_core.dir/filtration.cc.o"
+  "CMakeFiles/kgqan_core.dir/filtration.cc.o.d"
+  "CMakeFiles/kgqan_core.dir/linker.cc.o"
+  "CMakeFiles/kgqan_core.dir/linker.cc.o.d"
+  "CMakeFiles/kgqan_core.dir/multi_intention.cc.o"
+  "CMakeFiles/kgqan_core.dir/multi_intention.cc.o.d"
+  "libkgqan_core.a"
+  "libkgqan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

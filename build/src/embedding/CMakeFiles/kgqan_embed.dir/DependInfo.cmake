@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/affinity.cc" "src/embedding/CMakeFiles/kgqan_embed.dir/affinity.cc.o" "gcc" "src/embedding/CMakeFiles/kgqan_embed.dir/affinity.cc.o.d"
+  "/root/repo/src/embedding/char_embedder.cc" "src/embedding/CMakeFiles/kgqan_embed.dir/char_embedder.cc.o" "gcc" "src/embedding/CMakeFiles/kgqan_embed.dir/char_embedder.cc.o.d"
+  "/root/repo/src/embedding/lexicon.cc" "src/embedding/CMakeFiles/kgqan_embed.dir/lexicon.cc.o" "gcc" "src/embedding/CMakeFiles/kgqan_embed.dir/lexicon.cc.o.d"
+  "/root/repo/src/embedding/sentence_embedder.cc" "src/embedding/CMakeFiles/kgqan_embed.dir/sentence_embedder.cc.o" "gcc" "src/embedding/CMakeFiles/kgqan_embed.dir/sentence_embedder.cc.o.d"
+  "/root/repo/src/embedding/subword_embedder.cc" "src/embedding/CMakeFiles/kgqan_embed.dir/subword_embedder.cc.o" "gcc" "src/embedding/CMakeFiles/kgqan_embed.dir/subword_embedder.cc.o.d"
+  "/root/repo/src/embedding/vec.cc" "src/embedding/CMakeFiles/kgqan_embed.dir/vec.cc.o" "gcc" "src/embedding/CMakeFiles/kgqan_embed.dir/vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/kgqan_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgqan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kgqan_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/kgqan_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_embed.dir/affinity.cc.o"
+  "CMakeFiles/kgqan_embed.dir/affinity.cc.o.d"
+  "CMakeFiles/kgqan_embed.dir/char_embedder.cc.o"
+  "CMakeFiles/kgqan_embed.dir/char_embedder.cc.o.d"
+  "CMakeFiles/kgqan_embed.dir/lexicon.cc.o"
+  "CMakeFiles/kgqan_embed.dir/lexicon.cc.o.d"
+  "CMakeFiles/kgqan_embed.dir/sentence_embedder.cc.o"
+  "CMakeFiles/kgqan_embed.dir/sentence_embedder.cc.o.d"
+  "CMakeFiles/kgqan_embed.dir/subword_embedder.cc.o"
+  "CMakeFiles/kgqan_embed.dir/subword_embedder.cc.o.d"
+  "CMakeFiles/kgqan_embed.dir/vec.cc.o"
+  "CMakeFiles/kgqan_embed.dir/vec.cc.o.d"
+  "libkgqan_embed.a"
+  "libkgqan_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_eval.dir/linking_eval.cc.o"
+  "CMakeFiles/kgqan_eval.dir/linking_eval.cc.o.d"
+  "CMakeFiles/kgqan_eval.dir/metrics.cc.o"
+  "CMakeFiles/kgqan_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/kgqan_eval.dir/report.cc.o"
+  "CMakeFiles/kgqan_eval.dir/report.cc.o.d"
+  "CMakeFiles/kgqan_eval.dir/runner.cc.o"
+  "CMakeFiles/kgqan_eval.dir/runner.cc.o.d"
+  "libkgqan_eval.a"
+  "libkgqan_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

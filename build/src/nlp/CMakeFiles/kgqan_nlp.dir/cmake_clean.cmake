@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_nlp.dir/answer_type.cc.o"
+  "CMakeFiles/kgqan_nlp.dir/answer_type.cc.o.d"
+  "CMakeFiles/kgqan_nlp.dir/pos_tagger.cc.o"
+  "CMakeFiles/kgqan_nlp.dir/pos_tagger.cc.o.d"
+  "libkgqan_nlp.a"
+  "libkgqan_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qu/annotated_corpus.cc" "src/qu/CMakeFiles/kgqan_qu.dir/annotated_corpus.cc.o" "gcc" "src/qu/CMakeFiles/kgqan_qu.dir/annotated_corpus.cc.o.d"
+  "/root/repo/src/qu/inference_shim.cc" "src/qu/CMakeFiles/kgqan_qu.dir/inference_shim.cc.o" "gcc" "src/qu/CMakeFiles/kgqan_qu.dir/inference_shim.cc.o.d"
+  "/root/repo/src/qu/pgp.cc" "src/qu/CMakeFiles/kgqan_qu.dir/pgp.cc.o" "gcc" "src/qu/CMakeFiles/kgqan_qu.dir/pgp.cc.o.d"
+  "/root/repo/src/qu/phrase_triple.cc" "src/qu/CMakeFiles/kgqan_qu.dir/phrase_triple.cc.o" "gcc" "src/qu/CMakeFiles/kgqan_qu.dir/phrase_triple.cc.o.d"
+  "/root/repo/src/qu/triple_pattern_generator.cc" "src/qu/CMakeFiles/kgqan_qu.dir/triple_pattern_generator.cc.o" "gcc" "src/qu/CMakeFiles/kgqan_qu.dir/triple_pattern_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nlp/CMakeFiles/kgqan_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/kgqan_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kgqan_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgqan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kgqan_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/kgqan_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

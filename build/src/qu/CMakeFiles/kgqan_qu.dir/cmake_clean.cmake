@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_qu.dir/annotated_corpus.cc.o"
+  "CMakeFiles/kgqan_qu.dir/annotated_corpus.cc.o.d"
+  "CMakeFiles/kgqan_qu.dir/inference_shim.cc.o"
+  "CMakeFiles/kgqan_qu.dir/inference_shim.cc.o.d"
+  "CMakeFiles/kgqan_qu.dir/pgp.cc.o"
+  "CMakeFiles/kgqan_qu.dir/pgp.cc.o.d"
+  "CMakeFiles/kgqan_qu.dir/phrase_triple.cc.o"
+  "CMakeFiles/kgqan_qu.dir/phrase_triple.cc.o.d"
+  "CMakeFiles/kgqan_qu.dir/triple_pattern_generator.cc.o"
+  "CMakeFiles/kgqan_qu.dir/triple_pattern_generator.cc.o.d"
+  "libkgqan_qu.a"
+  "libkgqan_qu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_qu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_rdf.dir/graph.cc.o"
+  "CMakeFiles/kgqan_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/kgqan_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/kgqan_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/kgqan_rdf.dir/term.cc.o"
+  "CMakeFiles/kgqan_rdf.dir/term.cc.o.d"
+  "CMakeFiles/kgqan_rdf.dir/term_dictionary.cc.o"
+  "CMakeFiles/kgqan_rdf.dir/term_dictionary.cc.o.d"
+  "CMakeFiles/kgqan_rdf.dir/turtle.cc.o"
+  "CMakeFiles/kgqan_rdf.dir/turtle.cc.o.d"
+  "libkgqan_rdf.a"
+  "libkgqan_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/ast.cc" "src/sparql/CMakeFiles/kgqan_sparql.dir/ast.cc.o" "gcc" "src/sparql/CMakeFiles/kgqan_sparql.dir/ast.cc.o.d"
+  "/root/repo/src/sparql/endpoint.cc" "src/sparql/CMakeFiles/kgqan_sparql.dir/endpoint.cc.o" "gcc" "src/sparql/CMakeFiles/kgqan_sparql.dir/endpoint.cc.o.d"
+  "/root/repo/src/sparql/evaluator.cc" "src/sparql/CMakeFiles/kgqan_sparql.dir/evaluator.cc.o" "gcc" "src/sparql/CMakeFiles/kgqan_sparql.dir/evaluator.cc.o.d"
+  "/root/repo/src/sparql/lexer.cc" "src/sparql/CMakeFiles/kgqan_sparql.dir/lexer.cc.o" "gcc" "src/sparql/CMakeFiles/kgqan_sparql.dir/lexer.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/sparql/CMakeFiles/kgqan_sparql.dir/parser.cc.o" "gcc" "src/sparql/CMakeFiles/kgqan_sparql.dir/parser.cc.o.d"
+  "/root/repo/src/sparql/result_set.cc" "src/sparql/CMakeFiles/kgqan_sparql.dir/result_set.cc.o" "gcc" "src/sparql/CMakeFiles/kgqan_sparql.dir/result_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/kgqan_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kgqan_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/kgqan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgqan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_sparql.dir/ast.cc.o"
+  "CMakeFiles/kgqan_sparql.dir/ast.cc.o.d"
+  "CMakeFiles/kgqan_sparql.dir/endpoint.cc.o"
+  "CMakeFiles/kgqan_sparql.dir/endpoint.cc.o.d"
+  "CMakeFiles/kgqan_sparql.dir/evaluator.cc.o"
+  "CMakeFiles/kgqan_sparql.dir/evaluator.cc.o.d"
+  "CMakeFiles/kgqan_sparql.dir/lexer.cc.o"
+  "CMakeFiles/kgqan_sparql.dir/lexer.cc.o.d"
+  "CMakeFiles/kgqan_sparql.dir/parser.cc.o"
+  "CMakeFiles/kgqan_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/kgqan_sparql.dir/result_set.cc.o"
+  "CMakeFiles/kgqan_sparql.dir/result_set.cc.o.d"
+  "libkgqan_sparql.a"
+  "libkgqan_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_store.dir/triple_store.cc.o"
+  "CMakeFiles/kgqan_store.dir/triple_store.cc.o.d"
+  "libkgqan_store.a"
+  "libkgqan_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

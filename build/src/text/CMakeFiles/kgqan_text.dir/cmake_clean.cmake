@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_text.dir/text_index.cc.o"
+  "CMakeFiles/kgqan_text.dir/text_index.cc.o.d"
+  "CMakeFiles/kgqan_text.dir/tokenizer.cc.o"
+  "CMakeFiles/kgqan_text.dir/tokenizer.cc.o.d"
+  "libkgqan_text.a"
+  "libkgqan_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgqan_util.dir/status.cc.o"
+  "CMakeFiles/kgqan_util.dir/status.cc.o.d"
+  "CMakeFiles/kgqan_util.dir/string_util.cc.o"
+  "CMakeFiles/kgqan_util.dir/string_util.cc.o.d"
+  "libkgqan_util.a"
+  "libkgqan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgqan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qu_property_test.dir/qu_property_test.cc.o"
+  "CMakeFiles/qu_property_test.dir/qu_property_test.cc.o.d"
+  "qu_property_test"
+  "qu_property_test.pdb"
+  "qu_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qu_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qu_test.dir/qu_test.cc.o"
+  "CMakeFiles/qu_test.dir/qu_test.cc.o.d"
+  "qu_test"
+  "qu_test.pdb"
+  "qu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

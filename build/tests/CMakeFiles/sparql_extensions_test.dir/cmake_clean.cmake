@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_extensions_test.dir/sparql_extensions_test.cc.o"
+  "CMakeFiles/sparql_extensions_test.dir/sparql_extensions_test.cc.o.d"
+  "sparql_extensions_test"
+  "sparql_extensions_test.pdb"
+  "sparql_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
