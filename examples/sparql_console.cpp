@@ -3,8 +3,8 @@
 // without KGQAn on top.  Reads one query per line from stdin; a demo
 // query runs first so the example is useful non-interactively:
 //
-//   $ echo 'SELECT ?v ?d WHERE { ?v ?p ?d . ?d <bif:contains> "sea" . } LIMIT 3' \
-//       | ./examples/sparql_console
+//   $ echo 'SELECT ?v ?d WHERE { ?v ?p ?d . ?d <bif:contains> "sea" . } LIMIT 3' |
+//       ./examples/sparql_console
 
 #include <cstdio>
 #include <iostream>

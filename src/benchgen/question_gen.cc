@@ -35,12 +35,6 @@ std::string SelectObjects(const std::string& subject_iri,
          predicate_iri + "> ?x . }";
 }
 
-std::string SelectSubjects(const std::string& predicate_iri,
-                           const std::string& object_iri) {
-  return "SELECT DISTINCT ?x WHERE { ?x <" + predicate_iri + "> <" +
-         object_iri + "> . }";
-}
-
 GoldLink EntityLink(const std::string& phrase, const std::string& iri) {
   return GoldLink{phrase, iri, /*is_relation=*/false};
 }

@@ -49,6 +49,19 @@ struct KgqanConfig {
   size_t max_productive_queries = 3;
   double score_gap = 0.85;
 
+  // Worker threads for the JIT-linking fan-out and candidate-query
+  // execution (not a paper parameter).  0 = hardware concurrency; 1 runs
+  // the original fully serial pipeline, preserving its exact behaviour
+  // including per-endpoint query counts.  Parallel runs produce the same
+  // answers (results are combined in rank order) but may speculatively
+  // execute queries the serial early-exit would have skipped.
+  size_t num_threads = 0;
+
+  // Total entries per mode of the sharded LRU linking cache keyed by
+  // (phrase, KG identity, mode); repeated questions skip the endpoint
+  // round-trips of Sec. 5 entirely.  0 disables caching.
+  size_t linking_cache_capacity = 4096;
+
   // Question-understanding model variant (Table 4 ablation).
   qu::TriplePatternGenerator::Options qu;
 

@@ -1,12 +1,32 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <future>
 #include <map>
+#include <utility>
 
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace kgqan::core {
+
+namespace {
+
+// Resolves the configured thread count: 0 = hardware concurrency, 1 =
+// serial (no pool at all).
+std::unique_ptr<util::ThreadPool> MakePool(size_t num_threads) {
+  size_t n =
+      num_threads == 0 ? util::ThreadPool::DefaultThreads() : num_threads;
+  if (n <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(n);
+}
+
+std::unique_ptr<LinkingCache> MakeCache(size_t capacity) {
+  if (capacity == 0) return nullptr;
+  return std::make_unique<LinkingCache>(capacity);
+}
+
+}  // namespace
 
 std::string Explain(const KgqanResult& result) {
   std::string out;
@@ -60,9 +80,178 @@ KgqanEngine::KgqanEngine(const KgqanConfig& config)
       generator_(config.qu),
       affinity_(std::make_unique<embed::SemanticAffinity>(
           config.affinity_mode)),
-      linker_(&config_, affinity_.get()),
+      pool_(MakePool(config.num_threads)),
+      cache_(MakeCache(config.linking_cache_capacity)),
+      linker_(&config_, affinity_.get(), pool_.get(), cache_.get()),
       bgp_generator_(&config_),
       filtration_(&config_, affinity_.get()) {}
+
+RuntimeCounters KgqanEngine::Counters() const {
+  RuntimeCounters counters;
+  if (cache_ != nullptr) {
+    LinkingCacheStats stats = cache_->stats();
+    counters.linking_cache_hits = stats.hits;
+    counters.linking_cache_misses = stats.misses;
+  }
+  return counters;
+}
+
+std::vector<rdf::Term> KgqanEngine::RunSelectCandidate(
+    const Bgp& bgp, const std::string& var,
+    const nlp::AnswerTypePrediction& answer_type,
+    sparql::Endpoint& endpoint) const {
+  auto rs = endpoint.Query(BgpGenerator::ToSelectSparql(bgp, var));
+  if (!rs.ok() || rs->NumRows() == 0) return {};
+
+  // Group rows into (answer, class list) candidates.
+  auto a_col = rs->ColumnIndex(var);
+  auto c_col = rs->ColumnIndex("c");
+  if (!a_col.has_value()) return {};
+  std::map<std::string, CandidateAnswer> grouped;
+  std::vector<std::string> order;
+  for (size_t r = 0; r < rs->NumRows(); ++r) {
+    const auto& a = rs->At(r, *a_col);
+    if (!a.has_value()) continue;
+    std::string key = rdf::ToNTriples(*a);
+    auto [it, inserted] = grouped.emplace(key, CandidateAnswer{*a, {}});
+    if (inserted) order.push_back(key);
+    if (c_col.has_value()) {
+      const auto& c = rs->At(r, *c_col);
+      if (c.has_value() && c->IsIri()) {
+        it->second.class_iris.push_back(c->value);
+      }
+    }
+  }
+  std::vector<CandidateAnswer> candidates;
+  candidates.reserve(order.size());
+  for (const std::string& key : order) {
+    candidates.push_back(grouped.at(key));
+  }
+
+  if (!config_.enable_filtration) {
+    std::vector<rdf::Term> all;
+    all.reserve(candidates.size());
+    for (const CandidateAnswer& c : candidates) {
+      all.push_back(c.term);
+    }
+    return all;
+  }
+  return filtration_.Filter(candidates, answer_type);
+}
+
+void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
+                                       sparql::Endpoint& endpoint,
+                                       KgqanResult* result) const {
+  // ASK semantics: the question holds if any of the ranked candidate
+  // queries holds in the KG.
+  bool value = false;
+  if (pool_ == nullptr) {
+    for (const Bgp& bgp : bgps) {
+      ++result->queries_executed;
+      auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
+      if (rs.ok() && rs->is_ask() && rs->ask_value()) {
+        value = true;
+        break;
+      }
+    }
+    result->response.boolean_answer = value;
+    return;
+  }
+  // Parallel: execute in rank-ordered waves of pool-size queries; the
+  // first true (in rank order) decides, exactly as the serial early exit.
+  const size_t wave = pool_->size();
+  for (size_t start = 0; start < bgps.size() && !value; start += wave) {
+    size_t end = std::min(start + wave, bgps.size());
+    std::vector<std::future<bool>> futures;
+    futures.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      ++result->queries_executed;
+      const Bgp& bgp = bgps[i];
+      futures.push_back(pool_->Submit([&bgp, &endpoint]() {
+        auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
+        return rs.ok() && rs->is_ask() && rs->ask_value();
+      }));
+    }
+    for (std::future<bool>& future : futures) {
+      if (future.get()) value = true;  // Join the whole wave regardless.
+    }
+  }
+  result->response.boolean_answer = value;
+}
+
+void KgqanEngine::ExecuteSelectCandidates(const std::vector<Bgp>& bgps,
+                                          const std::string& var,
+                                          sparql::Endpoint& endpoint,
+                                          KgqanResult* result) const {
+  // Recall-first union in rank order (Sec. 6): stop once enough top-ranked
+  // queries were productive, and skip queries scoring far below the first
+  // productive one.  The in-order combine below applies the identical
+  // stopping rules for serial and parallel execution, so the answer set is
+  // the same; parallel runs merely execute some queries speculatively.
+  size_t productive_queries = 0;
+  double base_score = -1.0;
+
+  auto combine = [&](const Bgp& bgp,
+                     std::vector<rdf::Term>&& answers) -> bool {
+    // Returns false when the rank-order scan is done.
+    if (base_score >= 0.0 && bgp.score < config_.score_gap * base_score) {
+      return false;
+    }
+    if (answers.empty()) return true;  // Filtered away: try the next query.
+    // Union into the running answer set.
+    for (rdf::Term& term : answers) {
+      bool dup = false;
+      for (const rdf::Term& have : result->response.answers) {
+        if (have == term) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) result->response.answers.push_back(std::move(term));
+    }
+    ++productive_queries;
+    if (base_score < 0.0) base_score = bgp.score;
+    return productive_queries < config_.max_productive_queries;
+  };
+
+  if (pool_ == nullptr) {
+    for (const Bgp& bgp : bgps) {
+      // Once an answer set exists, only near-equivalent queries (semantic
+      // score within the gap) can extend it.
+      if (base_score >= 0.0 && bgp.score < config_.score_gap * base_score) {
+        break;
+      }
+      ++result->queries_executed;
+      if (!combine(bgp, RunSelectCandidate(bgp, var, result->answer_type,
+                                           endpoint))) {
+        break;
+      }
+    }
+    return;
+  }
+
+  const size_t wave = pool_->size();
+  for (size_t start = 0; start < bgps.size(); start += wave) {
+    size_t end = std::min(start + wave, bgps.size());
+    std::vector<std::future<std::vector<rdf::Term>>> futures;
+    futures.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      ++result->queries_executed;
+      const Bgp& bgp = bgps[i];
+      futures.push_back(pool_->Submit([this, &bgp, &var, result, &endpoint]() {
+        return RunSelectCandidate(bgp, var, result->answer_type, endpoint);
+      }));
+    }
+    bool done = false;
+    for (size_t i = start; i < end; ++i) {
+      // Join every submitted future (they borrow endpoint/result state),
+      // but stop combining once the rank-order scan is finished.
+      std::vector<rdf::Term> answers = futures[i - start].get();
+      if (!done && !combine(bgps[i], std::move(answers))) done = true;
+    }
+    if (done) return;
+  }
+}
 
 KgqanResult KgqanEngine::AnswerFull(const std::string& question,
                                     sparql::Endpoint& endpoint) const {
@@ -92,18 +281,7 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
   result.queries_generated = bgps.size();
 
   if (result.response.is_boolean) {
-    // ASK semantics: the question holds if any of the ranked candidate
-    // queries holds in the KG.
-    bool value = false;
-    for (const Bgp& bgp : bgps) {
-      ++result.queries_executed;
-      auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
-      if (rs.ok() && rs->is_ask() && rs->ask_value()) {
-        value = true;
-        break;
-      }
-    }
-    result.response.boolean_answer = value;
+    ExecuteAskCandidates(bgps, endpoint, &result);
     result.response.timings.execution_ms = watch.ElapsedMillis();
     return result;
   }
@@ -113,72 +291,11 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
     result.response.timings.execution_ms = watch.ElapsedMillis();
     return result;
   }
-  std::string var =
-      "u" + std::to_string(result.pgp.nodes()[*main_unknown].var_id);
-
-  size_t productive_queries = 0;
-  double base_score = -1.0;
-  for (const Bgp& bgp : bgps) {
-    // Once an answer set exists, only near-equivalent queries (semantic
-    // score within the gap) can extend it.
-    if (base_score >= 0.0 && bgp.score < config_.score_gap * base_score) {
-      break;
-    }
-    ++result.queries_executed;
-    auto rs = endpoint.Query(BgpGenerator::ToSelectSparql(bgp, var));
-    if (!rs.ok() || rs->NumRows() == 0) continue;
-
-    // Group rows into (answer, class list) candidates.
-    auto a_col = rs->ColumnIndex(var);
-    auto c_col = rs->ColumnIndex("c");
-    if (!a_col.has_value()) continue;
-    std::map<std::string, CandidateAnswer> grouped;
-    std::vector<std::string> order;
-    for (size_t r = 0; r < rs->NumRows(); ++r) {
-      const auto& a = rs->At(r, *a_col);
-      if (!a.has_value()) continue;
-      std::string key = rdf::ToNTriples(*a);
-      auto [it, inserted] = grouped.emplace(key, CandidateAnswer{*a, {}});
-      if (inserted) order.push_back(key);
-      if (c_col.has_value()) {
-        const auto& c = rs->At(r, *c_col);
-        if (c.has_value() && c->IsIri()) {
-          it->second.class_iris.push_back(c->value);
-        }
-      }
-    }
-    std::vector<CandidateAnswer> candidates;
-    candidates.reserve(order.size());
-    for (const std::string& key : order) {
-      candidates.push_back(grouped.at(key));
-    }
-
-    std::vector<rdf::Term> answers =
-        config_.enable_filtration
-            ? filtration_.Filter(candidates, result.answer_type)
-            : [&] {
-                std::vector<rdf::Term> all;
-                for (const CandidateAnswer& c : candidates) {
-                  all.push_back(c.term);
-                }
-                return all;
-              }();
-    if (answers.empty()) continue;  // Filtered away: try the next query.
-    // Union into the running answer set.
-    for (rdf::Term& term : answers) {
-      bool dup = false;
-      for (const rdf::Term& have : result.response.answers) {
-        if (have == term) {
-          dup = true;
-          break;
-        }
-      }
-      if (!dup) result.response.answers.push_back(std::move(term));
-    }
-    ++productive_queries;
-    if (base_score < 0.0) base_score = bgp.score;
-    if (productive_queries >= config_.max_productive_queries) break;
-  }
+  // Built with += (not operator+) to dodge GCC 12's -Wrestrict false
+  // positive on inlined small-string concatenation.
+  std::string var = "u";
+  var += std::to_string(result.pgp.nodes()[*main_unknown].var_id);
+  ExecuteSelectCandidates(bgps, var, endpoint, &result);
   result.response.timings.execution_ms = watch.ElapsedMillis();
   return result;
 }

@@ -15,12 +15,14 @@
 #include "core/config.h"
 #include "core/filtration.h"
 #include "core/linker.h"
+#include "core/linking_cache.h"
 #include "core/qa_interface.h"
 #include "embedding/affinity.h"
 #include "nlp/answer_type.h"
 #include "qu/pgp.h"
 #include "qu/triple_pattern_generator.h"
 #include "sparql/endpoint.h"
+#include "util/thread_pool.h"
 
 namespace kgqan::core {
 
@@ -64,15 +66,43 @@ class KgqanEngine : public QaSystem {
   KgqanResult AnswerFull(const std::string& question,
                          sparql::Endpoint& endpoint) const;
 
+  // Linking-cache hit/miss counters (zeros when caching is disabled).
+  RuntimeCounters Counters() const override;
+
   const KgqanConfig& config() const { return config_; }
   const embed::SemanticAffinity& affinity() const { return *affinity_; }
   const qu::TriplePatternGenerator& generator() const { return generator_; }
 
+  // Worker threads actually in use (1 = serial pipeline).
+  size_t effective_threads() const { return pool_ ? pool_->size() : 1; }
+  const LinkingCache* linking_cache() const { return cache_.get(); }
+
  private:
+  // Executes the ranked candidate queries of a non-boolean question and
+  // unions answers in rank order (Sec. 6 semantics; identical answers for
+  // serial and parallel execution).
+  void ExecuteSelectCandidates(const std::vector<Bgp>& bgps,
+                               const std::string& var,
+                               sparql::Endpoint& endpoint,
+                               KgqanResult* result) const;
+  void ExecuteAskCandidates(const std::vector<Bgp>& bgps,
+                            sparql::Endpoint& endpoint,
+                            KgqanResult* result) const;
+
+  // Runs one SELECT candidate and groups its rows into (answer, classes)
+  // candidates; post-filtration is applied so the caller only unions.
+  std::vector<rdf::Term> RunSelectCandidate(
+      const Bgp& bgp, const std::string& var,
+      const nlp::AnswerTypePrediction& answer_type,
+      sparql::Endpoint& endpoint) const;
+
   KgqanConfig config_;
   qu::TriplePatternGenerator generator_;
   nlp::AnswerTypeClassifier answer_type_classifier_;
   std::unique_ptr<embed::SemanticAffinity> affinity_;
+  // Declared before linker_: the linker borrows both raw pointers.
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<LinkingCache> cache_;
   JitLinker linker_;
   BgpGenerator bgp_generator_;
   Filtration filtration_;

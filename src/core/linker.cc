@@ -1,8 +1,10 @@
 #include "core/linker.h"
 
 #include <algorithm>
+#include <future>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "text/tokenizer.h"
 #include "util/string_util.h"
@@ -35,6 +37,18 @@ std::string JitLinker::PotentialRelevantVerticesQuery(
 }
 
 std::vector<RelevantVertex> JitLinker::LinkEntity(
+    const std::string& label, sparql::Endpoint& endpoint) const {
+  if (cache_ == nullptr) return LinkEntityUncached(label, endpoint);
+  std::string kg = endpoint.cache_identity();
+  if (auto cached = cache_->GetVertices(label, kg); cached.has_value()) {
+    return *std::move(cached);
+  }
+  std::vector<RelevantVertex> out = LinkEntityUncached(label, endpoint);
+  cache_->PutVertices(label, kg, out);
+  return out;
+}
+
+std::vector<RelevantVertex> JitLinker::LinkEntityUncached(
     const std::string& label, sparql::Endpoint& endpoint) const {
   std::vector<RelevantVertex> out;
   if (label.empty()) return out;
@@ -73,6 +87,15 @@ std::string JitLinker::PredicateDescription(const std::string& iri,
                       " ");
   }
   // Cryptic predicate (e.g. wdg:P227): fetch its description from the KG.
+  std::string kg;
+  if (cache_ != nullptr) {
+    kg = endpoint.cache_identity();
+    if (auto cached = cache_->GetPredicateDescription(iri, kg);
+        cached.has_value()) {
+      return *std::move(cached);
+    }
+  }
+  std::string description(rdf::IriLocalName(iri));
   auto rs = endpoint.Query("SELECT ?d WHERE { <" + iri +
                            "> ?lp ?d . } LIMIT 8");
   if (rs.ok()) {
@@ -80,11 +103,13 @@ std::string JitLinker::PredicateDescription(const std::string& iri,
       const auto& d = rs->At(r, 0);
       if (d.has_value() && d->IsLiteral() &&
           (d->IsStringLiteral() || !d->lang.empty())) {
-        return d->value;
+        description = d->value;
+        break;
       }
     }
   }
-  return std::string(rdf::IriLocalName(iri));
+  if (cache_ != nullptr) cache_->PutPredicateDescription(iri, kg, description);
+  return description;
 }
 
 std::vector<RelevantPredicate> JitLinker::LinkRelation(
@@ -153,14 +178,37 @@ Agp JitLinker::Link(const qu::Pgp& pgp, sparql::Endpoint& endpoint) const {
   agp.edge_predicates.resize(pgp.edges().size());
 
   // Algorithm 1 per node: unknowns have no relevant vertices (line 1-2).
-  for (size_t i = 0; i < pgp.nodes().size(); ++i) {
-    const qu::Pgp::Node& node = pgp.nodes()[i];
-    if (node.is_unknown) continue;
-    agp.node_vertices[i] = LinkEntity(node.label, endpoint);
+  // Each node is an independent pure function of (label, endpoint), so the
+  // fan-out runs on the pool; joining in index order keeps the result
+  // identical to the serial pipeline.
+  if (pool_ != nullptr) {
+    std::vector<std::pair<size_t, std::future<std::vector<RelevantVertex>>>>
+        node_futures;
+    for (size_t i = 0; i < pgp.nodes().size(); ++i) {
+      const qu::Pgp::Node& node = pgp.nodes()[i];
+      if (node.is_unknown) continue;
+      node_futures.emplace_back(
+          i, pool_->Submit([this, &node, &endpoint]() {
+            return LinkEntity(node.label, endpoint);
+          }));
+    }
+    for (auto& [i, future] : node_futures) {
+      agp.node_vertices[i] = future.get();
+    }
+  } else {
+    for (size_t i = 0; i < pgp.nodes().size(); ++i) {
+      const qu::Pgp::Node& node = pgp.nodes()[i];
+      if (node.is_unknown) continue;
+      agp.node_vertices[i] = LinkEntity(node.label, endpoint);
+    }
   }
+
   // Algorithm 2 per edge — first the edges with at least one annotated
-  // endpoint.
+  // endpoint.  Every such edge reads only the (now final) node_vertices,
+  // so edges fan out too.
   std::vector<size_t> pending;
+  std::vector<std::pair<size_t, std::future<std::vector<RelevantPredicate>>>>
+      edge_futures;
   for (size_t e = 0; e < pgp.edges().size(); ++e) {
     const qu::Pgp::Edge& edge = pgp.edges()[e];
     if (agp.node_vertices[edge.a].empty() &&
@@ -168,7 +216,17 @@ Agp JitLinker::Link(const qu::Pgp& pgp, sparql::Endpoint& endpoint) const {
       pending.push_back(e);  // Unknown-unknown edge (path questions).
       continue;
     }
-    agp.edge_predicates[e] = LinkRelation(agp, pgp.edges()[e], e, endpoint);
+    if (pool_ != nullptr) {
+      edge_futures.emplace_back(
+          e, pool_->Submit([this, &agp, &edge, e, &endpoint]() {
+            return LinkRelation(agp, edge, e, endpoint);
+          }));
+    } else {
+      agp.edge_predicates[e] = LinkRelation(agp, pgp.edges()[e], e, endpoint);
+    }
+  }
+  for (auto& [e, future] : edge_futures) {
+    agp.edge_predicates[e] = future.get();
   }
 
   // Path questions produce edges between two unknowns, which have no

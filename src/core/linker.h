@@ -5,6 +5,14 @@
 // engine's built-in full-text index) and outgoing/incoming predicate
 // lookups per relevant vertex.  No pre-processing, no prior knowledge of
 // the KG.
+//
+// When constructed with a thread pool, the per-node and per-edge fan-out
+// of Link() runs on the pool (nodes first, then the edges that depend on
+// them); results are identical to the serial order because each node/edge
+// is an independent pure function of the PGP and the endpoint.  When
+// constructed with a LinkingCache, entity-linking results and cryptic-
+// predicate descriptions are memoized across questions, keyed by (phrase,
+// endpoint identity, mode).
 
 #ifndef KGQAN_CORE_LINKER_H_
 #define KGQAN_CORE_LINKER_H_
@@ -13,16 +21,19 @@
 
 #include "core/agp.h"
 #include "core/config.h"
+#include "core/linking_cache.h"
 #include "embedding/affinity.h"
 #include "qu/pgp.h"
 #include "sparql/endpoint.h"
+#include "util/thread_pool.h"
 
 namespace kgqan::core {
 
 class JitLinker {
  public:
-  JitLinker(const KgqanConfig* config, const embed::SemanticAffinity* affinity)
-      : config_(config), affinity_(affinity) {}
+  JitLinker(const KgqanConfig* config, const embed::SemanticAffinity* affinity,
+            util::ThreadPool* pool = nullptr, LinkingCache* cache = nullptr)
+      : config_(config), affinity_(affinity), pool_(pool), cache_(cache) {}
 
   // Annotates every node and edge of `pgp` against `endpoint` (Def. 5.3).
   Agp Link(const qu::Pgp& pgp, sparql::Endpoint& endpoint) const;
@@ -55,11 +66,17 @@ class JitLinker {
                              sparql::Endpoint& endpoint) const;
 
  private:
+  // Uncached Algorithm 1 (the actual endpoint round-trip + ranking).
+  std::vector<RelevantVertex> LinkEntityUncached(
+      const std::string& label, sparql::Endpoint& endpoint) const;
+
   std::string PredicateDescription(const std::string& iri,
                                    sparql::Endpoint& endpoint) const;
 
   const KgqanConfig* config_;
   const embed::SemanticAffinity* affinity_;
+  util::ThreadPool* pool_;   // Not owned; nullptr = serial.
+  LinkingCache* cache_;      // Not owned; nullptr = no memoization.
 };
 
 }  // namespace kgqan::core

@@ -1,0 +1,67 @@
+#include "core/linking_cache.h"
+
+namespace kgqan::core {
+
+LinkingCache::LinkingCache(size_t capacity)
+    : vertices_(capacity), descriptions_(capacity) {}
+
+std::string LinkingCache::MakeKey(std::string_view phrase,
+                                  std::string_view kg) {
+  std::string key;
+  key.reserve(phrase.size() + kg.size() + 1);
+  key.append(phrase);
+  key.push_back('\x1f');  // Unit separator: cannot occur in IRIs.
+  key.append(kg);
+  return key;
+}
+
+std::optional<std::vector<RelevantVertex>> LinkingCache::GetVertices(
+    std::string_view phrase, std::string_view kg) const {
+  auto result = vertices_.Get(MakeKey(phrase, kg));
+  (result.has_value() ? hits_ : misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void LinkingCache::PutVertices(std::string_view phrase, std::string_view kg,
+                               const std::vector<RelevantVertex>& vertices) {
+  size_t evictions = 0;
+  vertices_.Put(MakeKey(phrase, kg), vertices, &evictions);
+  if (evictions > 0) {
+    evictions_.fetch_add(evictions, std::memory_order_relaxed);
+  }
+}
+
+std::optional<std::string> LinkingCache::GetPredicateDescription(
+    std::string_view iri, std::string_view kg) const {
+  auto result = descriptions_.Get(MakeKey(iri, kg));
+  (result.has_value() ? hits_ : misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void LinkingCache::PutPredicateDescription(std::string_view iri,
+                                           std::string_view kg,
+                                           const std::string& description) {
+  size_t evictions = 0;
+  descriptions_.Put(MakeKey(iri, kg), description, &evictions);
+  if (evictions > 0) {
+    evictions_.fetch_add(evictions, std::memory_order_relaxed);
+  }
+}
+
+LinkingCacheStats LinkingCache::stats() const {
+  LinkingCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = vertices_.TotalEntries() + descriptions_.TotalEntries();
+  return stats;
+}
+
+void LinkingCache::Clear() {
+  vertices_.Clear();
+  descriptions_.Clear();
+}
+
+}  // namespace kgqan::core

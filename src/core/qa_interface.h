@@ -4,6 +4,7 @@
 #ifndef KGQAN_CORE_QA_INTERFACE_H_
 #define KGQAN_CORE_QA_INTERFACE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -32,11 +33,21 @@ struct QaResponse {
   PhaseTimings timings;
 };
 
+// Runtime counters a QA system may expose to the evaluation harness
+// (cumulative since construction).  Systems without caches report zeros.
+struct RuntimeCounters {
+  size_t linking_cache_hits = 0;
+  size_t linking_cache_misses = 0;
+};
+
 class QaSystem {
  public:
   virtual ~QaSystem() = default;
 
   virtual std::string name() const = 0;
+
+  // Cache / concurrency counters for the eval harness (Fig. 7 reporting).
+  virtual RuntimeCounters Counters() const { return RuntimeCounters{}; }
 
   // Statistics of the per-KG pre-processing phase (Table 2).
   struct PreprocessStats {

@@ -1,5 +1,7 @@
 #include "embedding/char_embedder.h"
 
+#include <mutex>
+
 #include "embedding/subword_embedder.h"
 #include "util/string_util.h"
 
@@ -7,9 +9,13 @@ namespace kgqan::embed {
 
 const Vec& CharEmbedder::Embed(std::string_view word) const {
   std::string lower = util::ToLower(word);
-  auto it = cache_.find(lower);
-  if (it != cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    auto it = cache_.find(lower);
+    if (it != cache_.end()) return it->second;
+  }
   Vec v = Compute(lower);
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   return cache_.emplace(std::move(lower), std::move(v)).first->second;
 }
 

@@ -6,6 +6,7 @@
 #ifndef KGQAN_EMBEDDING_CHAR_EMBEDDER_H_
 #define KGQAN_EMBEDDING_CHAR_EMBEDDER_H_
 
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,12 +22,13 @@ class CharEmbedder {
   CharEmbedder() = default;
 
   // Unit-norm spelling embedding of `word` (case-insensitive).  Cached;
-  // not thread-safe.
+  // safe to call concurrently.
   const Vec& Embed(std::string_view word) const;
 
  private:
   static Vec Compute(const std::string& word);
 
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::string, Vec> cache_;
 };
 

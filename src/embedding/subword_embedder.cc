@@ -1,6 +1,7 @@
 #include "embedding/subword_embedder.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -36,9 +37,16 @@ SubwordEmbedder::SubwordEmbedder(const Lexicon* lexicon)
 
 const Vec& SubwordEmbedder::Embed(std::string_view word) const {
   std::string lower = util::ToLower(word);
-  auto it = cache_.find(lower);
-  if (it != cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    auto it = cache_.find(lower);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: two threads may redundantly compute the same
+  // (deterministic) vector; emplace keeps the first and both references
+  // stay valid.
   Vec v = Compute(lower);
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   return cache_.emplace(std::move(lower), std::move(v)).first->second;
 }
 

@@ -12,6 +12,7 @@
 #ifndef KGQAN_EMBEDDING_SUBWORD_EMBEDDER_H_
 #define KGQAN_EMBEDDING_SUBWORD_EMBEDDER_H_
 
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -30,7 +31,8 @@ class SubwordEmbedder {
   explicit SubwordEmbedder(const Lexicon* lexicon = &DefaultLexicon());
 
   // Returns the unit-norm embedding of `word` (case-insensitive).  Cached;
-  // not thread-safe.
+  // safe to call concurrently (the returned reference stays valid — node
+  // references of unordered_map survive rehashing).
   const Vec& Embed(std::string_view word) const;
 
   // Returns a deterministic unit vector for an arbitrary string key; used
@@ -41,6 +43,7 @@ class SubwordEmbedder {
   Vec Compute(const std::string& word) const;
 
   const Lexicon* lexicon_;
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::string, Vec> cache_;
 };
 

@@ -65,8 +65,8 @@ std::string QualityTableMarkdown(const std::vector<BenchmarkReport>& rows) {
 
 std::string TimingTableMarkdown(const std::vector<BenchmarkReport>& rows) {
   std::string out =
-      "| Benchmark | System | QU (ms) | Linking (ms) | E&F (ms) | Total |\n"
-      "|---|---|---|---|---|---|\n";
+      "| Benchmark | System | QU (ms) | Linking (ms) | E&F (ms) | Total | "
+      "Link cache h/m |\n|---|---|---|---|---|---|---|\n";
   for (const BenchmarkReport& row : rows) {
     for (const SystemBenchmarkResult& r : row.systems) {
       const core::PhaseTimings& t = r.avg_timings;
@@ -74,7 +74,9 @@ std::string TimingTableMarkdown(const std::vector<BenchmarkReport>& rows) {
              util::FormatDouble(t.qu_ms, 2) + " | " +
              util::FormatDouble(t.linking_ms, 2) + " | " +
              util::FormatDouble(t.execution_ms, 2) + " | " +
-             util::FormatDouble(t.TotalMs(), 2) + " |\n";
+             util::FormatDouble(t.TotalMs(), 2) + " | " +
+             std::to_string(r.linking_cache_hits) + "/" +
+             std::to_string(r.linking_cache_misses) + " |\n";
     }
   }
   return out;

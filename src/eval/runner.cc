@@ -10,6 +10,7 @@ SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
 
   MacroAverager averager;
   core::PhaseTimings total;
+  core::RuntimeCounters counters_before = system.Counters();
   for (const benchgen::BenchQuestion& q : bench.questions) {
     core::QaResponse resp = system.Answer(q.text, *bench.endpoint);
     Prf score = ScoreQuestion(q, resp);
@@ -32,6 +33,11 @@ SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
       ++result.taxonomy.solved_by_ling[ling_idx];
     }
   }
+  core::RuntimeCounters counters_after = system.Counters();
+  result.linking_cache_hits =
+      counters_after.linking_cache_hits - counters_before.linking_cache_hits;
+  result.linking_cache_misses = counters_after.linking_cache_misses -
+                                counters_before.linking_cache_misses;
   result.num_questions = averager.count();
   result.macro = averager.Average();
   if (result.num_questions > 0) {

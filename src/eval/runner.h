@@ -33,6 +33,10 @@ struct SystemBenchmarkResult {
   size_t failures = 0;      // R = 0 and F1 = 0 (Fig. 8).
   size_t qu_failures = 0;   // Failures where understanding itself failed.
   TaxonomyCounts taxonomy;  // Solved = F1 > 0 (Table 5).
+  // Linking-cache traffic during this run (delta of the system's
+  // cumulative counters; zeros for systems without a cache).
+  size_t linking_cache_hits = 0;
+  size_t linking_cache_misses = 0;
 };
 
 // Runs `system` over every question of `bench`.  Pre-processing (if the

@@ -1,6 +1,7 @@
 #include "sparql/endpoint.h"
 
 #include <array>
+#include <mutex>
 
 #include "rdf/ntriples.h"
 #include "sparql/parser.h"
@@ -13,8 +14,11 @@ Endpoint::Endpoint(std::string name, rdf::Graph graph)
 }
 
 util::StatusOr<ResultSet> Endpoint::Query(std::string_view sparql) {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   KGQAN_ASSIGN_OR_RETURN(sparql::Query query, ParseQuery(sparql));
+  // Shared lock: the store and text index are read-only during evaluation;
+  // only AddNTriples mutates them (under the unique lock).
+  std::shared_lock<std::shared_mutex> lock(data_mutex_);
   return Evaluate(query, store_, *text_index_, eval_options_);
 }
 
@@ -27,11 +31,13 @@ util::StatusOr<size_t> Endpoint::AddNTriples(std::string_view ntriples) {
                        delta.dictionary().Get(t.p),
                        delta.dictionary().Get(t.o)});
   }
+  std::unique_lock<std::shared_mutex> lock(data_mutex_);
   size_t added = store_.Insert(triples);
   if (added > 0) {
     // The built-in full-text index covers the new literals after a
     // rebuild, as an RDF engine's background indexer would.
     text_index_ = std::make_unique<text::TextIndex>(store_);
+    generation_.fetch_add(1, std::memory_order_release);
   }
   return added;
 }

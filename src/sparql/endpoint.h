@@ -5,11 +5,21 @@
 // The endpoint owns the triple store and its built-in full-text index, and
 // keeps per-endpoint request statistics used by the response-time
 // experiments (Figure 7).
+//
+// Thread-safety: Query() may be called concurrently from any number of
+// threads (the store, text index and evaluator are read-only on the query
+// path; the request counter is atomic).  AddNTriples() takes the writer
+// lock, so live updates serialize against in-flight queries exactly like a
+// public endpoint's update channel.  ResetStats() and
+// mutable_eval_options() are configuration calls: do not race them against
+// queries.
 
 #ifndef KGQAN_SPARQL_ENDPOINT_H_
 #define KGQAN_SPARQL_ENDPOINT_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -33,20 +43,33 @@ class Endpoint {
 
   const std::string& name() const { return name_; }
 
-  // Parses and evaluates a SPARQL request.
+  // Parses and evaluates a SPARQL request.  Safe to call concurrently.
   util::StatusOr<ResultSet> Query(std::string_view sparql);
 
   // Loads additional data into the KG from N-Triples text (live updates to
   // the endpoint).  The full-text index is rebuilt; returns the number of
-  // new triples.
+  // new triples.  Blocks until in-flight queries drain.
   util::StatusOr<size_t> AddNTriples(std::string_view ntriples);
 
   // Number of triples in the KG.
   size_t NumTriples() const { return store_.size(); }
 
   // Request statistics.
-  size_t query_count() const { return query_count_; }
-  void ResetStats() { query_count_ = 0; }
+  size_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() { query_count_.store(0, std::memory_order_relaxed); }
+
+  // Monotonic data version, bumped by every successful AddNTriples.
+  size_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // Stable identity of (endpoint, data version) — the "KG" component of
+  // linking-cache keys, so endpoint updates invalidate cached links.
+  std::string cache_identity() const {
+    return name_ + "#" + std::to_string(generation());
+  }
 
   // Direct substrate access — for index-building baselines (which, unlike
   // KGQAn, pre-process the KG) and for tests.  KGQAn itself only calls
@@ -61,7 +84,10 @@ class Endpoint {
   store::TripleStore store_;
   std::unique_ptr<text::TextIndex> text_index_;
   EvalOptions eval_options_;
-  size_t query_count_ = 0;
+  std::atomic<size_t> query_count_{0};
+  std::atomic<size_t> generation_{0};
+  // Readers-writer lock between Query (shared) and AddNTriples (unique).
+  std::shared_mutex data_mutex_;
 };
 
 }  // namespace kgqan::sparql

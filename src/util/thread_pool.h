@@ -1,0 +1,82 @@
+// Fixed-size thread pool with a plain FIFO task queue and std::future
+// results.
+//
+// Design notes:
+//  * No work stealing: the pool exists to overlap endpoint round-trips and
+//    per-vertex/per-edge linking fan-out, whose tasks are coarse enough
+//    that a single locked queue is never the bottleneck.
+//  * Submit() is thread-safe and may be called from worker threads, but a
+//    task must never block on the future of another task submitted to the
+//    same pool (classic deadlock when all workers wait).  The engine's
+//    fan-out therefore always joins futures from the calling thread only.
+//  * Exceptions thrown by a task are captured in its future and rethrown
+//    at future.get(), so callers see them on the joining thread.
+
+#ifndef KGQAN_UTIL_THREAD_POOL_H_
+#define KGQAN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace kgqan::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains nothing: pending tasks that have not started are still executed
+  // before the workers exit, so every returned future becomes ready.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    // std::function requires copyable targets, so the packaged_task lives
+    // behind a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace_back([task]() { (*task)(); });
+    }
+    ready_.notify_one();
+    return result;
+  }
+
+  // Hardware concurrency with a sane floor (hardware_concurrency() may
+  // legally return 0).
+  static size_t DefaultThreads() {
+    size_t n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 2;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kgqan::util
+
+#endif  // KGQAN_UTIL_THREAD_POOL_H_

@@ -127,6 +127,8 @@ TEST(ReportTest, MarkdownTablesRenderAllSections) {
   r.avg_timings.qu_ms = 20.0;
   r.avg_timings.linking_ms = 1.0;
   r.avg_timings.execution_ms = 0.5;
+  r.linking_cache_hits = 5;
+  r.linking_cache_misses = 3;
   r.taxonomy.total_by_shape = {8, 2};
   r.taxonomy.solved_by_shape = {4, 0};
   r.taxonomy.total_by_ling = {6, 2, 1, 1};
@@ -142,7 +144,7 @@ TEST(ReportTest, MarkdownTablesRenderAllSections) {
   EXPECT_NE(quality.find("50.0 / 40.0 / 44.0"), std::string::npos);
 
   std::string timing = TimingTableMarkdown(rows);
-  EXPECT_NE(timing.find("| 20.00 | 1.00 | 0.50 | 21.50 |"),
+  EXPECT_NE(timing.find("| 20.00 | 1.00 | 0.50 | 21.50 | 5/3 |"),
             std::string::npos);
 
   std::string failures = FailureTableMarkdown(rows);

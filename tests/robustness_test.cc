@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -15,6 +17,7 @@
 #include "sparql/parser.h"
 #include "text/text_index.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace kgqan {
 namespace {
@@ -112,6 +115,176 @@ TEST(RobustnessTest, EngineAnswersGarbageWithoutCrashing) {
         "Name the", "Is is is?", "\"\"\"", "Who wrote \"\"?"}) {
     (void)engine.Answer(q, ep);
   }
+}
+
+// ---- Concurrency robustness ----
+
+// A medium-sized endpoint for the stress tests below.
+rdf::Graph StressGraph() {
+  rdf::Graph g;
+  for (int i = 0; i < 200; ++i) {
+    std::string s = "http://x/person" + std::to_string(i);
+    g.AddIri(s, "http://www.w3.org/2000/01/rdf-schema#label",
+             rdf::StringLiteral("Person Number " + std::to_string(i)));
+    g.AddIris(s, "http://x/knows",
+              "http://x/person" + std::to_string((i + 1) % 200));
+    g.AddIris(s, "http://x/type", "http://x/Human");
+  }
+  return g;
+}
+
+TEST(RobustnessTest, ConcurrentMixedQueriesAgainstOneEndpoint) {
+  sparql::Endpoint ep("stress", StressGraph());
+  constexpr size_t kThreads = 8;
+  constexpr int kQueriesPerThread = 40;
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ep, &errors, t]() {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        util::StatusOr<sparql::ResultSet> rs = [&]() {
+          switch ((t + static_cast<size_t>(i)) % 3) {
+            case 0:  // Full-text (bif:contains) query.
+              return ep.Query(
+                  "SELECT ?v ?d WHERE { ?v ?p ?d . ?d <bif:contains> "
+                  "\"'person' OR 'number'\" . } LIMIT 50");
+            case 1:  // BGP join.
+              return ep.Query(
+                  "SELECT ?a ?b WHERE { ?a <http://x/knows> ?b . ?b "
+                  "<http://x/type> <http://x/Human> . } LIMIT 25");
+            default:  // Point lookup.
+              return ep.Query("SELECT ?o WHERE { <http://x/person" +
+                              std::to_string(i % 200) +
+                              "> <http://x/knows> ?o . }");
+          }
+        }();
+        if (!rs.ok() || rs->NumRows() == 0) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(ep.query_count(), kThreads * kQueriesPerThread);
+}
+
+TEST(RobustnessTest, ConcurrentQueriesDuringLiveUpdates) {
+  sparql::Endpoint ep("stress-update", StressGraph());
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&ep, &stop, &failures]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto rs = ep.Query(
+            "SELECT ?a WHERE { ?a <http://x/type> <http://x/Human> . } "
+            "LIMIT 10");
+        if (!rs.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  size_t generation_before = ep.generation();
+  for (int i = 0; i < 20; ++i) {
+    std::string nt = "<http://x/new" + std::to_string(i) +
+                     "> <http://x/type> <http://x/Human> .\n";
+    auto added = ep.AddNTriples(nt);
+    ASSERT_TRUE(added.ok());
+    EXPECT_EQ(*added, 1u);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(ep.generation(), generation_before + 20);
+}
+
+TEST(RobustnessTest, ParallelEngineMatchesSerialAnswers) {
+  // The same questions answered with the serial pipeline and with the
+  // maximum fan-out must produce identical answer sets — parallelism only
+  // re-schedules pure work.
+  auto build_endpoint = []() {
+    rdf::Graph g;
+    g.AddIri("http://x/baltic", "http://www.w3.org/2000/01/rdf-schema#label",
+             rdf::StringLiteral("Baltic Sea"));
+    g.AddIris("http://x/baltic", "http://x/nearestCity",
+              "http://x/kaliningrad");
+    g.AddIri("http://x/kaliningrad",
+             "http://www.w3.org/2000/01/rdf-schema#label",
+             rdf::StringLiteral("Kaliningrad"));
+    g.AddIris("http://x/kaliningrad", "http://x/type", "http://x/City");
+    g.AddIri("http://x/City", "http://www.w3.org/2000/01/rdf-schema#label",
+             rdf::StringLiteral("city"));
+    return sparql::Endpoint("par", std::move(g));
+  };
+  const char* questions[] = {
+      "What is the nearest city to the Baltic Sea?",
+      "Which city is nearest to the Baltic Sea?",
+  };
+
+  core::KgqanConfig serial_cfg;
+  serial_cfg.qu.inference.enabled = false;
+  serial_cfg.num_threads = 1;
+  serial_cfg.linking_cache_capacity = 0;
+  core::KgqanConfig parallel_cfg = serial_cfg;
+  parallel_cfg.num_threads = 8;
+  parallel_cfg.linking_cache_capacity = 1024;
+
+  core::KgqanEngine serial(serial_cfg);
+  core::KgqanEngine parallel(parallel_cfg);
+  ASSERT_EQ(parallel.effective_threads(), 8u);
+
+  for (const char* q : questions) {
+    sparql::Endpoint ep_a = build_endpoint();
+    sparql::Endpoint ep_b = build_endpoint();
+    core::QaResponse a = serial.Answer(q, ep_a);
+    core::QaResponse b = parallel.Answer(q, ep_b);
+    EXPECT_EQ(a.understood, b.understood);
+    EXPECT_EQ(a.is_boolean, b.is_boolean);
+    ASSERT_EQ(a.answers.size(), b.answers.size()) << q;
+    for (size_t i = 0; i < a.answers.size(); ++i) {
+      EXPECT_EQ(a.answers[i], b.answers[i]) << q;
+    }
+  }
+  // Second pass on the parallel engine: answers must be stable under
+  // cache hits, and the cache must have seen traffic.
+  sparql::Endpoint ep = build_endpoint();
+  core::QaResponse first = parallel.Answer(questions[0], ep);
+  core::RuntimeCounters before = parallel.Counters();
+  core::QaResponse second = parallel.Answer(questions[0], ep);
+  core::RuntimeCounters after = parallel.Counters();
+  EXPECT_EQ(first.answers.size(), second.answers.size());
+  EXPECT_GT(after.linking_cache_hits, before.linking_cache_hits);
+}
+
+TEST(RobustnessTest, OneEngineSharedAcrossQuestionThreads) {
+  // AnswerFull is const: a single engine instance must serve questions
+  // from several harness threads at once (shared embedder caches, shared
+  // linking cache, shared pool).
+  core::KgqanConfig cfg;
+  cfg.qu.inference.enabled = false;
+  cfg.num_threads = 2;
+  core::KgqanEngine engine(cfg);
+  sparql::Endpoint ep("shared", StressGraph());
+  std::atomic<size_t> crashes{0};
+  std::vector<std::thread> askers;
+  for (int t = 0; t < 4; ++t) {
+    askers.emplace_back([&engine, &ep, &crashes, t]() {
+      const char* questions[] = {
+          "Who knows Person Number 3?",
+          "Is Person Number 5 a human?",
+          "What is Person Number 7?",
+      };
+      for (int i = 0; i < 6; ++i) {
+        core::QaResponse resp =
+            engine.Answer(questions[(t + i) % 3], ep);
+        if (!resp.understood && !resp.answers.empty()) {
+          crashes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : askers) t.join();
+  EXPECT_EQ(crashes.load(), 0u);
 }
 
 }  // namespace
