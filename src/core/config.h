@@ -62,6 +62,19 @@ struct KgqanConfig {
   // round-trips of Sec. 5 entirely.  0 disables caching.
   size_t linking_cache_capacity = 4096;
 
+  // Batched JIT linking (not a paper parameter): collect the
+  // text-containment probes of a node wave and the outgoing/incoming
+  // predicate probes of an edge wave into combined UNION/VALUES SELECTs,
+  // so a wave costs ceil(probes / max_batch_size) endpoint round-trips
+  // instead of one per probe.  Off (default) preserves the exact PR 1
+  // per-probe behaviour, including per-endpoint request counts; on, the
+  // produced AGP is byte-identical but round_trips shrink.
+  bool batch_linking = false;
+
+  // Probes folded into one batched wave query; larger batches mean fewer
+  // round-trips but bigger queries (and a coarser endpoint row cap).
+  size_t max_batch_size = 16;
+
   // Question-understanding model variant (Table 4 ablation).
   qu::TriplePatternGenerator::Options qu;
 

@@ -63,6 +63,9 @@ std::string Explain(const KgqanResult& result) {
   }
   out += "queries:     " + std::to_string(result.queries_executed) + " of " +
          std::to_string(result.queries_generated) + " executed\n";
+  out += "linking:     " + std::to_string(result.linking_requests) +
+         " requests in " + std::to_string(result.linking_round_trips) +
+         " round trips\n";
   if (result.response.is_boolean) {
     out += std::string("answer:      ") +
            (result.response.boolean_answer ? "true" : "false") + "\n";
@@ -272,7 +275,11 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
 
   // ---- Phase 2: JIT linking against the target KG. ----
   watch.Restart();
+  size_t requests_before = endpoint.query_count();
+  size_t round_trips_before = endpoint.round_trips();
   result.agp = linker_.Link(result.pgp, endpoint);
+  result.linking_requests = endpoint.query_count() - requests_before;
+  result.linking_round_trips = endpoint.round_trips() - round_trips_before;
   result.response.timings.linking_ms = watch.ElapsedMillis();
 
   // ---- Phase 3: execution and filtration. ----

@@ -35,6 +35,12 @@ struct KgqanResult {
   Agp agp;                    // Annotated graph (after linking).
   size_t queries_generated = 0;
   size_t queries_executed = 0;
+  // Endpoint traffic of the linking phase: logical SPARQL requests and
+  // physical exchanges (batched linking shrinks the latter).  Measured as
+  // endpoint counter deltas around Link(), so they are approximate when
+  // other threads share the endpoint concurrently.
+  size_t linking_requests = 0;
+  size_t linking_round_trips = 0;
 };
 
 // Renders a human-readable trace of the pipeline for `result`: the PGP,

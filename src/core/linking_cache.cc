@@ -3,7 +3,9 @@
 namespace kgqan::core {
 
 LinkingCache::LinkingCache(size_t capacity)
-    : vertices_(capacity), descriptions_(capacity) {}
+    : vertices_(capacity),
+      descriptions_(capacity),
+      anchor_predicates_(capacity) {}
 
 std::string LinkingCache::MakeKey(std::string_view phrase,
                                   std::string_view kg) {
@@ -50,18 +52,44 @@ void LinkingCache::PutPredicateDescription(std::string_view iri,
   }
 }
 
+std::optional<std::vector<std::string>> LinkingCache::GetAnchorPredicates(
+    std::string_view iri, bool vertex_is_object, std::string_view kg) const {
+  std::string phrase(iri);
+  phrase.push_back('\x1f');
+  phrase.push_back(vertex_is_object ? 'S' : 'O');
+  auto result = anchor_predicates_.Get(MakeKey(phrase, kg));
+  (result.has_value() ? hits_ : misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void LinkingCache::PutAnchorPredicates(
+    std::string_view iri, bool vertex_is_object, std::string_view kg,
+    const std::vector<std::string>& predicates) {
+  std::string phrase(iri);
+  phrase.push_back('\x1f');
+  phrase.push_back(vertex_is_object ? 'S' : 'O');
+  size_t evictions = 0;
+  anchor_predicates_.Put(MakeKey(phrase, kg), predicates, &evictions);
+  if (evictions > 0) {
+    evictions_.fetch_add(evictions, std::memory_order_relaxed);
+  }
+}
+
 LinkingCacheStats LinkingCache::stats() const {
   LinkingCacheStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.entries = vertices_.TotalEntries() + descriptions_.TotalEntries();
+  stats.entries = vertices_.TotalEntries() + descriptions_.TotalEntries() +
+                  anchor_predicates_.TotalEntries();
   return stats;
 }
 
 void LinkingCache::Clear() {
   vertices_.Clear();
   descriptions_.Clear();
+  anchor_predicates_.Clear();
 }
 
 }  // namespace kgqan::core

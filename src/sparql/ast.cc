@@ -31,6 +31,16 @@ const char* OpText(ExprOp op) {
 
 }  // namespace
 
+bool operator==(const Expr& a, const Expr& b) {
+  auto child_eq = [](const std::unique_ptr<Expr>& x,
+                     const std::unique_ptr<Expr>& y) {
+    if (!x || !y) return !x && !y;
+    return *x == *y;
+  };
+  return a.op == b.op && a.var == b.var && a.constant == b.constant &&
+         child_eq(a.lhs, b.lhs) && child_eq(a.rhs, b.rhs);
+}
+
 std::string ToSparql(const TermOrVar& tv) {
   if (IsVar(tv)) return "?" + AsVar(tv).name;
   return rdf::ToNTriples(AsTerm(tv));

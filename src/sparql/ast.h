@@ -42,18 +42,21 @@ struct TriplePattern {
   TermOrVar s;
   TermOrVar p;
   TermOrVar o;
+  friend bool operator==(const TriplePattern&, const TriplePattern&) = default;
 };
 
 // `?var <bif:contains> "expr"` — answered by the engine's text index.
 struct TextPattern {
   Var var;
   std::string expr;
+  friend bool operator==(const TextPattern&, const TextPattern&) = default;
 };
 
 // `VALUES ?var { term ... }` — inline data binding.
 struct InlineValues {
   Var var;
   std::vector<rdf::Term> values;
+  friend bool operator==(const InlineValues&, const InlineValues&) = default;
 };
 
 // FILTER expression tree.
@@ -87,6 +90,9 @@ struct Expr {
   // Children (unary: lhs only).
   std::unique_ptr<Expr> lhs;
   std::unique_ptr<Expr> rhs;
+
+  // Deep structural equality (children compared by value, not pointer).
+  friend bool operator==(const Expr& a, const Expr& b);
 };
 
 struct GroupGraphPattern {
@@ -103,6 +109,9 @@ struct GroupGraphPattern {
     return triples.empty() && text_patterns.empty() && values.empty() &&
            filters.empty() && optionals.empty() && unions.empty();
   }
+
+  friend bool operator==(const GroupGraphPattern&,
+                         const GroupGraphPattern&) = default;
 };
 
 // SELECT (<op>(DISTINCT? ?var) AS ?alias).
@@ -113,6 +122,7 @@ struct Aggregate {
   bool distinct = false;
   Var var;
   Var alias;
+  friend bool operator==(const Aggregate&, const Aggregate&) = default;
 };
 
 // Backwards-compatible name (COUNT was the first supported aggregate).
@@ -122,6 +132,7 @@ using CountAggregate = Aggregate;
 struct OrderKey {
   Var var;
   bool descending = false;
+  friend bool operator==(const OrderKey&, const OrderKey&) = default;
 };
 
 struct Query {
@@ -136,6 +147,8 @@ struct Query {
   std::vector<OrderKey> order_by;
   size_t limit = 0;                    // 0 = no limit
   size_t offset = 0;
+
+  friend bool operator==(const Query&, const Query&) = default;
 };
 
 // Renders a query back to SPARQL text (used in logs and tests).

@@ -14,7 +14,13 @@ Endpoint::Endpoint(std::string name, rdf::Graph graph)
 }
 
 util::StatusOr<ResultSet> Endpoint::Query(std::string_view sparql) {
-  query_count_.fetch_add(1, std::memory_order_relaxed);
+  return QueryBatch(sparql, 1);
+}
+
+util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
+                                               size_t num_probes) {
+  query_count_.fetch_add(num_probes, std::memory_order_relaxed);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
   KGQAN_ASSIGN_OR_RETURN(sparql::Query query, ParseQuery(sparql));
   // Shared lock: the store and text index are read-only during evaluation;
   // only AddNTriples mutates them (under the unique lock).

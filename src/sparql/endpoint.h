@@ -46,6 +46,15 @@ class Endpoint {
   // Parses and evaluates a SPARQL request.  Safe to call concurrently.
   util::StatusOr<ResultSet> Query(std::string_view sparql);
 
+  // Parses and evaluates a *batched* SPARQL request: one query text that
+  // folds `num_probes` logical sub-queries (UNION/VALUES branches) into a
+  // single HTTP-equivalent exchange.  Counts `num_probes` requests in
+  // query_count() — so eval/report tables stay comparable with the
+  // per-probe path — but only one round trip in round_trips().  Safe to
+  // call concurrently.
+  util::StatusOr<ResultSet> QueryBatch(std::string_view sparql,
+                                       size_t num_probes);
+
   // Loads additional data into the KG from N-Triples text (live updates to
   // the endpoint).  The full-text index is rebuilt; returns the number of
   // new triples.  Blocks until in-flight queries drain.
@@ -54,11 +63,19 @@ class Endpoint {
   // Number of triples in the KG.
   size_t NumTriples() const { return store_.size(); }
 
-  // Request statistics.
+  // Request statistics.  query_count counts logical SPARQL requests (each
+  // sub-query of a batch counts as one), round_trips counts physical
+  // query exchanges (a whole batch counts as one).
   size_t query_count() const {
     return query_count_.load(std::memory_order_relaxed);
   }
-  void ResetStats() { query_count_.store(0, std::memory_order_relaxed); }
+  size_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() {
+    query_count_.store(0, std::memory_order_relaxed);
+    round_trips_.store(0, std::memory_order_relaxed);
+  }
 
   // Monotonic data version, bumped by every successful AddNTriples.
   size_t generation() const {
@@ -85,6 +102,7 @@ class Endpoint {
   std::unique_ptr<text::TextIndex> text_index_;
   EvalOptions eval_options_;
   std::atomic<size_t> query_count_{0};
+  std::atomic<size_t> round_trips_{0};
   std::atomic<size_t> generation_{0};
   // Readers-writer lock between Query (shared) and AddNTriples (unique).
   std::shared_mutex data_mutex_;

@@ -125,6 +125,28 @@ class Evaluator {
     return b[CompiledPattern::Slot(c)];
   }
 
+  // Id of `term` for use in bindings: the store id when the term occurs in
+  // the KG, otherwise a query-local overlay id above the store's range.
+  TermId InternValue(const Term& term) {
+    if (auto id = store_.dictionary().Find(term); id.has_value()) return *id;
+    auto [it, inserted] =
+        overlay_ids_.try_emplace(rdf::ToNTriples(term), TermId{0});
+    if (inserted) {
+      overlay_terms_.push_back(term);
+      it->second = static_cast<TermId>(store_.dictionary().MaxId() +
+                                       overlay_terms_.size());
+    }
+    return it->second;
+  }
+
+  // Term lookup that also resolves overlay ids (pre-condition: id is a
+  // store id or was returned by InternValue; not kNullTermId).
+  const Term& TermOf(TermId id) const {
+    TermId max_store = store_.dictionary().MaxId();
+    if (id <= max_store) return store_.dictionary().Get(id);
+    return overlay_terms_[id - max_store - 1];
+  }
+
   // Estimated number of matches given which slots are bound (for join
   // ordering); bound slots are treated as constants of unknown value, so we
   // use the count with only the constant components as an upper bound.
@@ -179,13 +201,15 @@ class Evaluator {
       rows = std::move(next);
     }
 
-    // 1b. Inline VALUES bindings.
+    // 1b. Inline VALUES bindings.  Terms that do not occur in the KG are
+    // interned into a query-local overlay dictionary: per SPARQL semantics
+    // they still bind (e.g. batch-query discriminator values), they simply
+    // can never join a stored triple.
     for (const InlineValues& iv : group.values) {
       size_t slot = slots_.SlotOf(iv.var.name);
       std::vector<TermId> ids;
       for (const Term& t : iv.values) {
-        auto id = store_.dictionary().Find(t);
-        if (id.has_value()) ids.push_back(*id);
+        ids.push_back(InternValue(t));
       }
       std::vector<Binding> next;
       for (const Binding& row : rows) {
@@ -341,8 +365,7 @@ class Evaluator {
       case ExprOp::kVar: {
         auto slot = slots_.Find(e.var.name);
         if (!slot.has_value() || b[*slot] == kNullTermId) return false;
-        const Term& t = store_.dictionary().Get(b[*slot]);
-        return t.value == "true";
+        return TermOf(b[*slot]).value == "true";
       }
       case ExprOp::kConstant:
         return e.constant.value == "true";
@@ -395,7 +418,7 @@ class Evaluator {
     if (e.op == ExprOp::kVar) {
       auto slot = slots_.Find(e.var.name);
       if (!slot.has_value() || b[*slot] == kNullTermId) return std::nullopt;
-      return store_.dictionary().Get(b[*slot]);
+      return TermOf(b[*slot]);
     }
     if (e.op == ExprOp::kStr) {
       std::optional<Term> inner = EvalOperand(*e.lhs, b);
@@ -475,7 +498,7 @@ class Evaluator {
         std::optional<TermId> best;
         std::optional<double> best_num;
         for (TermId id : values) {
-          const Term& t = store_.dictionary().Get(id);
+          const Term& t = TermOf(id);
           double v;
           bool numeric = IsNumeric(t, &v);
           if (!best.has_value()) {
@@ -488,7 +511,7 @@ class Evaluator {
             better = agg.op == Aggregate::Op::kMin ? v < *best_num
                                                    : v > *best_num;
           } else {
-            const Term& bt = store_.dictionary().Get(*best);
+            const Term& bt = TermOf(*best);
             better = agg.op == Aggregate::Op::kMin ? t.value < bt.value
                                                    : t.value > bt.value;
           }
@@ -498,7 +521,7 @@ class Evaluator {
           }
         }
         if (!best.has_value()) return rdf::IntLiteral(0);
-        return store_.dictionary().Get(*best);
+        return TermOf(*best);
       }
       case Aggregate::Op::kSum:
       case Aggregate::Op::kAvg: {
@@ -506,7 +529,7 @@ class Evaluator {
         size_t n = 0;
         bool integral = true;
         for (TermId id : values) {
-          const Term& t = store_.dictionary().Get(id);
+          const Term& t = TermOf(id);
           double v;
           if (!IsNumeric(t, &v)) continue;
           if (t.datatype != rdf::vocab::kXsdInteger) integral = false;
@@ -551,8 +574,8 @@ class Evaluator {
         if (a == b) return false;
         if (a == kNullTermId) return true;
         if (b == kNullTermId) return false;
-        const Term& ta = store_.dictionary().Get(a);
-        const Term& tb = store_.dictionary().Get(b);
+        const Term& ta = TermOf(a);
+        const Term& tb = TermOf(b);
         double va, vb;
         if (IsNumeric(ta, &va) && IsNumeric(tb, &vb)) {
           if (va != vb) return va < vb;
@@ -574,20 +597,13 @@ class Evaluator {
     std::vector<std::string> cols;
     std::vector<size_t> col_slots;
     if (query.select_all) {
-      // All variables, in slot order: rebuild name list.
-      cols.resize(slots_.size());
-      col_slots.resize(slots_.size());
-      // SlotMap does not keep reverse order; re-derive from the query.
-      // Collect in first-appearance order.
-      SlotMap ordered;
-      CollectVars(query.where, &ordered);
-      // ordered slots == slots_ prefix (same insertion order).
-      std::vector<std::string> names(ordered.size());
-      // We need names; re-walk the group.
+      // All pattern variables in first-appearance order (SlotMap does not
+      // keep reverse order; re-derive names by walking the group in the
+      // same order CollectVars did).
+      std::vector<std::string> names;
       CollectVarNames(query.where, &names);
-      cols.assign(names.begin(), names.end());
-      col_slots.clear();
-      for (const std::string& name : cols) {
+      for (const std::string& name : names) {
+        cols.push_back(name);
         col_slots.push_back(*slots_.Find(name));
       }
     } else {
@@ -617,7 +633,7 @@ class Evaluator {
         if (id == kNullTermId) {
           row.push_back(std::nullopt);
         } else {
-          row.push_back(store_.dictionary().Get(id));
+          row.push_back(TermOf(id));
         }
       }
       rs.AddRow(std::move(row));
@@ -643,14 +659,24 @@ class Evaluator {
       visit(tp.p);
       visit(tp.o);
     }
-    for (const TextPattern& tp : group.text_patterns) {
-      const std::string& n = tp.var.name;
-      if (std::find(names->begin(), names->end(), n) == names->end()) {
-        names->push_back(n);
+    auto visit_var = [&](const Var& v) {
+      if (std::find(names->begin(), names->end(), v.name) == names->end()) {
+        names->push_back(v.name);
       }
+    };
+    for (const TextPattern& tp : group.text_patterns) {
+      visit_var(tp.var);
+    }
+    for (const InlineValues& iv : group.values) {
+      visit_var(iv.var);
     }
     for (const GroupGraphPattern& opt : group.optionals) {
       CollectVarNames(opt, names);
+    }
+    for (const auto& branches : group.unions) {
+      for (const GroupGraphPattern& branch : branches) {
+        CollectVarNames(branch, names);
+      }
     }
   }
 
@@ -658,6 +684,10 @@ class Evaluator {
   const text::TextIndex& text_index_;
   const EvalOptions& options_;
   SlotMap slots_;
+  // Query-local dictionary overlay for VALUES terms absent from the store
+  // (their ids live above dictionary().MaxId(); see InternValue/TermOf).
+  std::vector<Term> overlay_terms_;
+  std::unordered_map<std::string, TermId> overlay_ids_;
 };
 
 }  // namespace

@@ -368,7 +368,11 @@ class Parser {
 
   StatusOr<Expr> ParseCmpExpr() {
     KGQAN_ASSIGN_OR_RETURN(Expr lhs, ParseUnaryExpr());
-    if (Peek().kind == TokenKind::kOp) {
+    // Consume only comparison operators here; `&&` and `||` belong to the
+    // enclosing precedence levels (e.g. `CONTAINS(...) || BOUND(?x)` has a
+    // non-comparison operand before the `||`).
+    if (Peek().kind == TokenKind::kOp && Peek().text != "&&" &&
+        Peek().text != "||") {
       std::string op = Advance().text;
       KGQAN_ASSIGN_OR_RETURN(Expr rhs, ParseUnaryExpr());
       Expr node;

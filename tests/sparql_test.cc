@@ -324,6 +324,43 @@ TEST_F(EvalTest, QueryCountIncrements) {
   (void)endpoint_.Query("ASK { ?s ?p ?o . }");
   (void)endpoint_.Query("ASK { ?s ?p ?o . }");
   EXPECT_EQ(endpoint_.query_count(), 2u);
+  // Each plain Query is one physical exchange.
+  EXPECT_EQ(endpoint_.round_trips(), 2u);
+}
+
+TEST_F(EvalTest, QueryBatchCountsProbesButOneRoundTrip) {
+  endpoint_.ResetStats();
+  (void)endpoint_.QueryBatch("ASK { ?s ?p ?o . }", 5);
+  EXPECT_EQ(endpoint_.query_count(), 5u);
+  EXPECT_EQ(endpoint_.round_trips(), 1u);
+  (void)endpoint_.Query("ASK { ?s ?p ?o . }");
+  EXPECT_EQ(endpoint_.query_count(), 6u);
+  EXPECT_EQ(endpoint_.round_trips(), 2u);
+  endpoint_.ResetStats();
+  EXPECT_EQ(endpoint_.query_count(), 0u);
+  EXPECT_EQ(endpoint_.round_trips(), 0u);
+}
+
+TEST_F(EvalTest, ValuesBindsTermsAbsentFromTheStore) {
+  // Batched linking demultiplexes rows via integer VALUES discriminators
+  // that do not occur in the KG: the evaluator must bind them from its
+  // query-local overlay dictionary rather than dropping the rows.
+  auto rs = endpoint_.Query(
+      "SELECT ?probe ?s WHERE { VALUES ?probe { 7 } ?s <http://x/outflow> "
+      "<http://x/baltic> . }");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_GT(rs->NumRows(), 0u);
+  auto probe_col = rs->ColumnIndex("probe");
+  ASSERT_TRUE(probe_col.has_value());
+  ASSERT_TRUE(rs->At(0, *probe_col).has_value());
+  EXPECT_EQ(rs->At(0, *probe_col)->value, "7");
+
+  // Absent IRIs in VALUES are bound too (and simply match nothing else).
+  auto rs2 = endpoint_.Query(
+      "SELECT ?x WHERE { VALUES ?x { <http://nowhere/z> } }");
+  ASSERT_TRUE(rs2.ok()) << rs2.status();
+  ASSERT_EQ(rs2->NumRows(), 1u);
+  EXPECT_EQ(rs2->At(0, 0)->value, "http://nowhere/z");
 }
 
 TEST_F(EvalTest, ParseErrorSurfacesAsStatus) {
