@@ -1,15 +1,27 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <cstring>
 
 namespace kgqan::bench {
 
 double ParseScale(int argc, char** argv) {
-  if (argc > 1) {
-    double s = std::atof(argv[1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) continue;
+    double s = std::atof(argv[i]);
     if (s > 0.0) return s;
   }
   return 1.0;
+}
+
+std::string ParseFlag(int argc, char** argv, const std::string& name) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::string();
 }
 
 benchgen::Benchmark BuildAnnounced(benchgen::BenchmarkId id, double scale) {

@@ -2,9 +2,10 @@
 // construction, per-KG baseline configuration, and plain-text table
 // printing.
 //
-// Every binary accepts an optional scale argument (argv[1], default 1.0)
-// that scales KG sizes and question counts; the reported numbers in
-// EXPERIMENTS.md use scale 1.0.
+// Every binary accepts an optional scale argument (the first non-flag
+// argument, default 1.0) that scales KG sizes and question counts; the
+// reported numbers in EXPERIMENTS.md use scale 1.0.  `--name=value` flags
+// (e.g. --trace-out=trace.jsonl) may appear in any position.
 
 #ifndef KGQAN_BENCH_BENCH_COMMON_H_
 #define KGQAN_BENCH_BENCH_COMMON_H_
@@ -21,8 +22,11 @@
 
 namespace kgqan::bench {
 
-// Parses argv[1] as the benchmark scale (default 1.0).
+// Parses the first non-flag argument as the benchmark scale (default 1.0).
 double ParseScale(int argc, char** argv);
+
+// Returns the value of a `--name=value` flag, or "" when absent.
+std::string ParseFlag(int argc, char** argv, const std::string& name);
 
 // Builds a benchmark and announces it on stdout.
 benchgen::Benchmark BuildAnnounced(benchgen::BenchmarkId id, double scale);

@@ -10,17 +10,50 @@
 // Beyond the paper, the harness also runs KGQAn with the concurrent
 // execution layer enabled (K-par: a worker pool for candidate queries and
 // linking fan-out, plus the linking cache) and reports the speedup of the
-// KG-bound phases over the serial engine, with the cache hit rate.
+// KG-bound phases over the serial engine, with the cache hit rate.  The
+// averages come from per-phase latency histograms, so the K and K-par rows
+// are followed by per-phase tail percentiles (p50/p90/p95/p99), and
+// `--trace-out=FILE` dumps one Chrome-trace span tree per K-par question
+// (JSONL; load at ui.perfetto.dev).
 
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.h"
 #include "eval/runner.h"
+#include "obs/chrome_trace.h"
+
+namespace {
+
+// Per-phase latency percentiles of one system's run.
+void PrintPercentiles(const char* benchmark, const char* label,
+                      const kgqan::eval::SystemBenchmarkResult& r) {
+  struct Phase {
+    const char* name;
+    const kgqan::obs::HistogramSnapshot& hist;
+  };
+  const Phase phases[] = {{"QU", r.qu_hist},
+                          {"Linking", r.linking_hist},
+                          {"E&F", r.execution_hist},
+                          {"Total", r.total_hist}};
+  for (const Phase& p : phases) {
+    std::printf("%-13s %-9s %-8s p50 %8.2f  p90 %8.2f  p95 %8.2f  "
+                "p99 %8.2f\n",
+                benchmark, label, p.name, p.hist.Percentile(50.0),
+                p.hist.Percentile(90.0), p.hist.Percentile(95.0),
+                p.hist.Percentile(99.0));
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace kgqan;
   double scale = bench::ParseScale(argc, argv);
+  std::string trace_out = bench::ParseFlag(argc, argv, "trace-out");
   constexpr size_t kParallelThreads = 8;
+
+  obs::TraceCollector collector;
 
   std::printf("Figure 7: average response time per question, split into "
               "QU / Linking / E&F (milliseconds)\n");
@@ -46,6 +79,11 @@ int main(int argc, char** argv) {
     ganswer.Preprocess(*b.endpoint);
     edgqa.Preprocess(*b.endpoint);
 
+    // Only the K-par run is traced: span recording is not free, and K is
+    // the timing-sensitive paper configuration.
+    eval::EvalRunOptions traced;
+    traced.traces = trace_out.empty() ? nullptr : &collector;
+
     struct Entry {
       const char* label;
       eval::SystemBenchmarkResult result;
@@ -54,7 +92,7 @@ int main(int argc, char** argv) {
         {"G", eval::RunEvaluation(ganswer, b)},
         {"E", eval::RunEvaluation(edgqa, b)},
         {"K", eval::RunEvaluation(kgqan, b)},
-        {"K-par", eval::RunEvaluation(kgqan_par, b)},
+        {"K-par", eval::RunEvaluation(kgqan_par, b, traced)},
     };
     for (const Entry& e : entries) {
       const core::PhaseTimings& t = e.result.avg_timings;
@@ -62,6 +100,8 @@ int main(int argc, char** argv) {
                   b.name.c_str(), e.label, t.qu_ms, t.linking_ms,
                   t.execution_ms, t.TotalMs());
     }
+    PrintPercentiles(b.name.c_str(), "K", entries[2].result);
+    PrintPercentiles(b.name.c_str(), "K-par", entries[3].result);
     const core::PhaseTimings& ts = entries[2].result.avg_timings;
     const core::PhaseTimings& tp = entries[3].result.avg_timings;
     const eval::SystemBenchmarkResult& par = entries[3].result;
@@ -79,5 +119,17 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   bench::PrintRule(86);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    obs::WriteChromeTrace(collector, out);
+    std::printf("[trace] %zu question traces written to %s "
+                "(JSONL; load at ui.perfetto.dev)\n",
+                collector.entries().size(), trace_out.c_str());
+  }
   return 0;
 }

@@ -5,7 +5,7 @@
 #include <map>
 #include <utility>
 
-#include "util/stopwatch.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace kgqan::core {
@@ -63,6 +63,20 @@ std::string Explain(const KgqanResult& result) {
   }
   out += "queries:     " + std::to_string(result.queries_executed) + " of " +
          std::to_string(result.queries_generated) + " executed\n";
+  size_t shown_candidates = 0;
+  for (const CandidateQueryStats& c : result.candidates) {
+    if (!c.executed) continue;
+    if (shown_candidates++ >= 10) {
+      out += "  ... (" +
+             std::to_string(result.queries_executed - shown_candidates + 1) +
+             " more)\n";
+      break;
+    }
+    out += "  #" + std::to_string(c.rank) + "  score " +
+           util::FormatDouble(c.score, 2) + "  " +
+           util::FormatDouble(c.latency_ms, 1) + " ms  " +
+           std::to_string(c.rows) + (c.rows == 1 ? " row\n" : " rows\n");
+  }
   out += "linking:     " + std::to_string(result.linking_requests) +
          " requests in " + std::to_string(result.linking_round_trips) +
          " round trips\n";
@@ -100,16 +114,28 @@ RuntimeCounters KgqanEngine::Counters() const {
 }
 
 std::vector<rdf::Term> KgqanEngine::RunSelectCandidate(
-    const Bgp& bgp, const std::string& var,
-    const nlp::AnswerTypePrediction& answer_type,
-    sparql::Endpoint& endpoint) const {
+    const Bgp& bgp, size_t rank, const std::string& var,
+    const nlp::AnswerTypePrediction& answer_type, sparql::Endpoint& endpoint,
+    CandidateQueryStats* stats) const {
+  obs::ScopedSpan span("execution.candidate");
+  if (span.recording()) span.AddAttribute("rank", std::to_string(rank));
+  stats->executed = true;
+  // Stamps the stats slot and the span on every return path.
+  auto finish = [&](std::vector<rdf::Term> answers) {
+    stats->latency_ms = span.ElapsedMillis();
+    stats->rows = answers.size();
+    if (span.recording()) {
+      span.AddAttribute("answers", std::to_string(answers.size()));
+    }
+    return answers;
+  };
   auto rs = endpoint.Query(BgpGenerator::ToSelectSparql(bgp, var));
-  if (!rs.ok() || rs->NumRows() == 0) return {};
+  if (!rs.ok() || rs->NumRows() == 0) return finish({});
 
   // Group rows into (answer, class list) candidates.
   auto a_col = rs->ColumnIndex(var);
   auto c_col = rs->ColumnIndex("c");
-  if (!a_col.has_value()) return {};
+  if (!a_col.has_value()) return finish({});
   std::map<std::string, CandidateAnswer> grouped;
   std::vector<std::string> order;
   for (size_t r = 0; r < rs->NumRows(); ++r) {
@@ -137,9 +163,18 @@ std::vector<rdf::Term> KgqanEngine::RunSelectCandidate(
     for (const CandidateAnswer& c : candidates) {
       all.push_back(c.term);
     }
-    return all;
+    return finish(std::move(all));
   }
-  return filtration_.Filter(candidates, answer_type);
+  std::vector<rdf::Term> filtered;
+  {
+    obs::ScopedSpan filtration_span("filtration");
+    if (filtration_span.recording()) {
+      filtration_span.AddAttribute("candidates",
+                                   std::to_string(candidates.size()));
+    }
+    filtered = filtration_.Filter(candidates, answer_type);
+  }
+  return finish(std::move(filtered));
 }
 
 void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
@@ -147,12 +182,22 @@ void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
                                        KgqanResult* result) const {
   // ASK semantics: the question holds if any of the ranked candidate
   // queries holds in the KG.
+  auto run_ask = [&endpoint](const Bgp& bgp, size_t rank,
+                             CandidateQueryStats* stats) {
+    obs::ScopedSpan span("execution.candidate");
+    if (span.recording()) span.AddAttribute("rank", std::to_string(rank));
+    stats->executed = true;
+    auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
+    bool held = rs.ok() && rs->is_ask() && rs->ask_value();
+    stats->latency_ms = span.ElapsedMillis();
+    stats->rows = held ? 1 : 0;
+    return held;
+  };
   bool value = false;
   if (pool_ == nullptr) {
-    for (const Bgp& bgp : bgps) {
+    for (size_t i = 0; i < bgps.size(); ++i) {
       ++result->queries_executed;
-      auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
-      if (rs.ok() && rs->is_ask() && rs->ask_value()) {
+      if (run_ask(bgps[i], i, &result->candidates[i])) {
         value = true;
         break;
       }
@@ -170,9 +215,10 @@ void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
     for (size_t i = start; i < end; ++i) {
       ++result->queries_executed;
       const Bgp& bgp = bgps[i];
-      futures.push_back(pool_->Submit([&bgp, &endpoint]() {
-        auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
-        return rs.ok() && rs->is_ask() && rs->ask_value();
+      // Each task writes its own preallocated stats slot: no race.
+      CandidateQueryStats* stats = &result->candidates[i];
+      futures.push_back(pool_->Submit([&run_ask, &bgp, i, stats]() {
+        return run_ask(bgp, i, stats);
       }));
     }
     for (std::future<bool>& future : futures) {
@@ -218,15 +264,17 @@ void KgqanEngine::ExecuteSelectCandidates(const std::vector<Bgp>& bgps,
   };
 
   if (pool_ == nullptr) {
-    for (const Bgp& bgp : bgps) {
+    for (size_t i = 0; i < bgps.size(); ++i) {
+      const Bgp& bgp = bgps[i];
       // Once an answer set exists, only near-equivalent queries (semantic
       // score within the gap) can extend it.
       if (base_score >= 0.0 && bgp.score < config_.score_gap * base_score) {
         break;
       }
       ++result->queries_executed;
-      if (!combine(bgp, RunSelectCandidate(bgp, var, result->answer_type,
-                                           endpoint))) {
+      if (!combine(bgp, RunSelectCandidate(bgp, i, var, result->answer_type,
+                                           endpoint,
+                                           &result->candidates[i]))) {
         break;
       }
     }
@@ -241,9 +289,11 @@ void KgqanEngine::ExecuteSelectCandidates(const std::vector<Bgp>& bgps,
     for (size_t i = start; i < end; ++i) {
       ++result->queries_executed;
       const Bgp& bgp = bgps[i];
-      futures.push_back(pool_->Submit([this, &bgp, &var, result, &endpoint]() {
-        return RunSelectCandidate(bgp, var, result->answer_type, endpoint);
-      }));
+      futures.push_back(
+          pool_->Submit([this, &bgp, i, &var, result, &endpoint]() {
+            return RunSelectCandidate(bgp, i, var, result->answer_type,
+                                      endpoint, &result->candidates[i]);
+          }));
     }
     bool done = false;
     for (size_t i = start; i < end; ++i) {
@@ -257,45 +307,85 @@ void KgqanEngine::ExecuteSelectCandidates(const std::vector<Bgp>& bgps,
 }
 
 KgqanResult KgqanEngine::AnswerFull(const std::string& question,
-                                    sparql::Endpoint& endpoint) const {
+                                    sparql::Endpoint& endpoint,
+                                    obs::Trace* trace) const {
+  // Always bind a trace: the caller's full one, or a private counters-only
+  // one.  Either way the endpoint and the linking cache attribute this
+  // question's traffic to it (through every pool worker), which is what
+  // makes the per-question counters below exact under concurrency.
+  obs::Trace local_trace(obs::Trace::Mode::kCountersOnly);
+  if (trace == nullptr) trace = &local_trace;
+  obs::ScopedSpan root(trace, "question");
+  root.AddAttribute("question", question);
+
   KgqanResult result;
-  util::Stopwatch watch;
 
   // ---- Phase 1: question understanding (KG-independent). ----
-  qu::TriplePatterns triples = generator_.Extract(question);
-  result.answer_type = answer_type_classifier_.Predict(question);
-  result.pgp = qu::Pgp::Build(triples);
-  result.response.timings.qu_ms = watch.ElapsedMillis();
-  if (triples.empty()) {
-    result.response.understood = false;
-    return result;
+  {
+    obs::ScopedSpan span("qu");
+    qu::TriplePatterns triples = generator_.Extract(question);
+    result.answer_type = answer_type_classifier_.Predict(question);
+    result.pgp = qu::Pgp::Build(triples);
+    result.response.understood = !triples.empty();
+    result.response.timings.qu_ms = span.ElapsedMillis();
   }
-  result.response.understood = true;
+  root.AddAttribute("understood",
+                    result.response.understood ? "true" : "false");
+  if (!result.response.understood) return result;
   result.response.is_boolean = result.pgp.IsBoolean();
 
   // ---- Phase 2: JIT linking against the target KG. ----
-  watch.Restart();
-  size_t requests_before = endpoint.query_count();
-  size_t round_trips_before = endpoint.round_trips();
-  result.agp = linker_.Link(result.pgp, endpoint);
-  result.linking_requests = endpoint.query_count() - requests_before;
-  result.linking_round_trips = endpoint.round_trips() - round_trips_before;
-  result.response.timings.linking_ms = watch.ElapsedMillis();
+  {
+    obs::ScopedSpan span("linking");
+    uint64_t requests_before =
+        trace->counter(obs::TraceCounter::kEndpointRequests);
+    uint64_t round_trips_before =
+        trace->counter(obs::TraceCounter::kEndpointRoundTrips);
+    result.agp = linker_.Link(result.pgp, endpoint);
+    result.linking_requests =
+        trace->counter(obs::TraceCounter::kEndpointRequests) - requests_before;
+    result.linking_round_trips =
+        trace->counter(obs::TraceCounter::kEndpointRoundTrips) -
+        round_trips_before;
+    if (span.recording()) {
+      span.AddAttribute("endpoint.requests",
+                        std::to_string(result.linking_requests));
+      span.AddAttribute("endpoint.round_trips",
+                        std::to_string(result.linking_round_trips));
+    }
+    result.response.timings.linking_ms = span.ElapsedMillis();
+  }
 
   // ---- Phase 3: execution and filtration. ----
-  watch.Restart();
+  obs::ScopedSpan span("execution");
   std::vector<Bgp> bgps = bgp_generator_.Generate(result.agp);
   result.queries_generated = bgps.size();
+  // Preallocate one stats slot per candidate so parallel execution waves
+  // write distinct slots without synchronization.
+  result.candidates.resize(bgps.size());
+  for (size_t i = 0; i < bgps.size(); ++i) {
+    result.candidates[i].rank = i;
+    result.candidates[i].score = bgps[i].score;
+  }
+  auto finish_execution = [&]() {
+    if (span.recording()) {
+      span.AddAttribute("queries_generated",
+                        std::to_string(result.queries_generated));
+      span.AddAttribute("queries_executed",
+                        std::to_string(result.queries_executed));
+    }
+    result.response.timings.execution_ms = span.ElapsedMillis();
+  };
 
   if (result.response.is_boolean) {
     ExecuteAskCandidates(bgps, endpoint, &result);
-    result.response.timings.execution_ms = watch.ElapsedMillis();
+    finish_execution();
     return result;
   }
 
   auto main_unknown = result.pgp.MainUnknown();
   if (!main_unknown.has_value()) {
-    result.response.timings.execution_ms = watch.ElapsedMillis();
+    finish_execution();
     return result;
   }
   // Built with += (not operator+) to dodge GCC 12's -Wrestrict false
@@ -303,7 +393,7 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
   std::string var = "u";
   var += std::to_string(result.pgp.nodes()[*main_unknown].var_id);
   ExecuteSelectCandidates(bgps, var, endpoint, &result);
-  result.response.timings.execution_ms = watch.ElapsedMillis();
+  finish_execution();
   return result;
 }
 

@@ -26,6 +26,17 @@
 
 namespace kgqan::core {
 
+// Per-candidate-query execution record (rank order of the BGP list).
+// Slots exist for every generated query; `executed` distinguishes the ones
+// the rank-order scan actually ran from the ones it skipped.
+struct CandidateQueryStats {
+  size_t rank = 0;
+  double score = 0.0;
+  bool executed = false;
+  double latency_ms = 0.0;
+  size_t rows = 0;  // Surviving answers (SELECT) or 1/0 (ASK held or not).
+};
+
 // Full per-question result, including the intermediate artifacts the
 // analysis experiments inspect.
 struct KgqanResult {
@@ -35,10 +46,12 @@ struct KgqanResult {
   Agp agp;                    // Annotated graph (after linking).
   size_t queries_generated = 0;
   size_t queries_executed = 0;
+  std::vector<CandidateQueryStats> candidates;
   // Endpoint traffic of the linking phase: logical SPARQL requests and
-  // physical exchanges (batched linking shrinks the latter).  Measured as
-  // endpoint counter deltas around Link(), so they are approximate when
-  // other threads share the endpoint concurrently.
+  // physical exchanges (batched linking shrinks the latter).  Exact even
+  // when other threads share the endpoint concurrently: the endpoint
+  // attributes traffic to the question's trace, which every worker thread
+  // of this question binds via thread-local context.
   size_t linking_requests = 0;
   size_t linking_round_trips = 0;
 };
@@ -67,10 +80,20 @@ class KgqanEngine : public QaSystem {
                     sparql::Endpoint& endpoint) override {
     return AnswerFull(question, endpoint).response;
   }
+  QaResponse Answer(const std::string& question, sparql::Endpoint& endpoint,
+                    obs::Trace* trace) override {
+    return AnswerFull(question, endpoint, trace).response;
+  }
 
-  // Full pipeline with intermediate artifacts exposed.
+  // Full pipeline with intermediate artifacts exposed.  When `trace` is a
+  // full-mode obs::Trace, one span tree for the question is recorded into
+  // it (qu → linking → execution → filtration, down to individual probe
+  // batches and candidate queries).  With nullptr the engine still binds a
+  // private counters-only trace, so linking_requests/linking_round_trips
+  // are exact either way and span bookkeeping costs nothing.
   KgqanResult AnswerFull(const std::string& question,
-                         sparql::Endpoint& endpoint) const;
+                         sparql::Endpoint& endpoint,
+                         obs::Trace* trace = nullptr) const;
 
   // Linking-cache hit/miss counters (zeros when caching is disabled).
   RuntimeCounters Counters() const override;
@@ -97,10 +120,13 @@ class KgqanEngine : public QaSystem {
 
   // Runs one SELECT candidate and groups its rows into (answer, classes)
   // candidates; post-filtration is applied so the caller only unions.
+  // Fills `stats` (the candidate's preallocated slot — distinct per task,
+  // so parallel waves write without synchronization) and records an
+  // "execution.candidate" span.
   std::vector<rdf::Term> RunSelectCandidate(
-      const Bgp& bgp, const std::string& var,
-      const nlp::AnswerTypePrediction& answer_type,
-      sparql::Endpoint& endpoint) const;
+      const Bgp& bgp, size_t rank, const std::string& var,
+      const nlp::AnswerTypePrediction& answer_type, sparql::Endpoint& endpoint,
+      CandidateQueryStats* stats) const;
 
   KgqanConfig config_;
   qu::TriplePatternGenerator generator_;

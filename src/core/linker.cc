@@ -11,12 +11,28 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 #include "util/string_util.h"
 
 namespace kgqan::core {
 
 namespace {
+
+// Registry instrumentation for the two linking algorithms (shared across
+// engines; resolved once).
+obs::Histogram& EntityLinkLatency() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("linker.entity_link_ms");
+  return histogram;
+}
+
+obs::Histogram& RelationLinkLatency() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("linker.relation_link_ms");
+  return histogram;
+}
 
 // Truncates a scored vector to its top-k by score (stable for ties).
 template <typename T>
@@ -61,6 +77,12 @@ std::vector<RelevantVertex> JitLinker::LinkEntityUncached(
     const std::string& label, sparql::Endpoint& endpoint) const {
   std::vector<RelevantVertex> out;
   if (label.empty()) return out;
+  obs::ScopedSpan span("linking.entity");
+  span.AddAttribute("label", label);
+  struct LatencyRecorder {
+    const obs::ScopedSpan& span;
+    ~LatencyRecorder() { EntityLinkLatency().Record(span.ElapsedMillis()); }
+  } recorder{span};
   auto rs = endpoint.Query(
       PotentialRelevantVerticesQuery(label, config_->max_fetched_vertices));
   if (!rs.ok()) return out;
@@ -190,9 +212,11 @@ std::vector<RelevantPredicate> JitLinker::LinkRelation(
     const Agp& agp, const qu::Pgp::Edge& edge, size_t edge_index,
     sparql::Endpoint& endpoint) const {
   (void)edge_index;
+  obs::ScopedSpan span("linking.relation");
+  span.AddAttribute("label", edge.label);
   // Serial per-probe lookup: one endpoint request per (anchor, direction),
   // issued in walk order — the exact PR 1 behaviour.
-  return AssembleEdgePredicates(
+  std::vector<RelevantPredicate> out = AssembleEdgePredicates(
       agp, edge, endpoint,
       [&endpoint](const std::string& v_iri, bool vertex_is_object)
           -> std::optional<std::vector<std::string>> {
@@ -211,10 +235,13 @@ std::vector<RelevantPredicate> JitLinker::LinkRelation(
         }
         return preds;
       });
+  RelationLinkLatency().Record(span.ElapsedMillis());
+  return out;
 }
 
 void JitLinker::LinkNodesBatched(const qu::Pgp& pgp, Agp* agp,
                                  sparql::Endpoint& endpoint) const {
+  obs::ScopedSpan wave_span("linking.node_wave");
   const std::string kg =
       cache_ != nullptr ? endpoint.cache_identity() : std::string();
 
@@ -255,6 +282,10 @@ void JitLinker::LinkNodesBatched(const qu::Pgp& pgp, Agp* agp,
   // query-level LIMIT — the per-probe maxVR cap is applied during demux so
   // each probe sees exactly the rows its own LIMITed query would return.
   auto run_chunk = [this, &endpoint](const std::vector<std::string>& chunk) {
+    obs::ScopedSpan batch_span("linking.probe_batch");
+    if (batch_span.recording()) {
+      batch_span.AddAttribute("probes", std::to_string(chunk.size()));
+    }
     std::string q = "SELECT ?probe ?v ?d WHERE { ";
     for (size_t k = 0; k < chunk.size(); ++k) {
       if (k > 0) q += "UNION ";
@@ -324,6 +355,7 @@ void JitLinker::LinkNodesBatched(const qu::Pgp& pgp, Agp* agp,
 void JitLinker::LinkEdgesBatched(Agp* agp,
                                  const std::vector<size_t>& edge_indices,
                                  sparql::Endpoint& endpoint) const {
+  obs::ScopedSpan wave_span("linking.edge_wave");
   const std::string kg =
       cache_ != nullptr ? endpoint.cache_identity() : std::string();
   struct Probe {
@@ -381,6 +413,10 @@ void JitLinker::LinkEdgesBatched(Agp* agp,
   // (probe, anchor, p) — the same predicate list, in the same order, as the
   // anchor's own `SELECT DISTINCT ?p` query.
   auto run_chunk = [&endpoint](const std::vector<Probe>& chunk) {
+    obs::ScopedSpan batch_span("linking.probe_batch");
+    if (batch_span.recording()) {
+      batch_span.AddAttribute("probes", std::to_string(chunk.size()));
+    }
     std::string q = "SELECT DISTINCT ?probe ?anchor ?p WHERE { ";
     bool first = true;
     for (int dir = 0; dir < 2; ++dir) {
@@ -580,6 +616,7 @@ Agp JitLinker::Link(const qu::Pgp& pgp, sparql::Endpoint& endpoint) const {
 
 void JitLinker::DeriveUnknownVertices(Agp* agp, size_t node,
                                       sparql::Endpoint& endpoint) const {
+  obs::ScopedSpan span("linking.derive_unknown");
   constexpr size_t kMaxDerived = 10;
   constexpr size_t kPredicatesPerEdge = 3;
   std::unordered_map<std::string, double> best;

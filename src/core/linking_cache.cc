@@ -1,11 +1,34 @@
 #include "core/linking_cache.h"
 
+#include "obs/trace.h"
+
 namespace kgqan::core {
 
 LinkingCache::LinkingCache(size_t capacity)
     : vertices_(capacity),
       descriptions_(capacity),
-      anchor_predicates_(capacity) {}
+      anchor_predicates_(capacity) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  metric_hits_ = &registry.GetCounter("linking_cache.hits");
+  metric_misses_ = &registry.GetCounter("linking_cache.misses");
+  metric_evictions_ = &registry.GetCounter("linking_cache.evictions");
+}
+
+void LinkingCache::RecordLookup(bool hit) const {
+  (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  (hit ? metric_hits_ : metric_misses_)->Add(1);
+  if (obs::Trace* trace = obs::CurrentTrace()) {
+    trace->AddCounter(hit ? obs::TraceCounter::kLinkingCacheHits
+                          : obs::TraceCounter::kLinkingCacheMisses,
+                      1);
+  }
+}
+
+void LinkingCache::RecordEvictions(size_t n) const {
+  if (n == 0) return;
+  evictions_.fetch_add(n, std::memory_order_relaxed);
+  metric_evictions_->Add(n);
+}
 
 std::string LinkingCache::MakeKey(std::string_view phrase,
                                   std::string_view kg) {
@@ -20,8 +43,7 @@ std::string LinkingCache::MakeKey(std::string_view phrase,
 std::optional<std::vector<RelevantVertex>> LinkingCache::GetVertices(
     std::string_view phrase, std::string_view kg) const {
   auto result = vertices_.Get(MakeKey(phrase, kg));
-  (result.has_value() ? hits_ : misses_)
-      .fetch_add(1, std::memory_order_relaxed);
+  RecordLookup(result.has_value());
   return result;
 }
 
@@ -29,16 +51,13 @@ void LinkingCache::PutVertices(std::string_view phrase, std::string_view kg,
                                const std::vector<RelevantVertex>& vertices) {
   size_t evictions = 0;
   vertices_.Put(MakeKey(phrase, kg), vertices, &evictions);
-  if (evictions > 0) {
-    evictions_.fetch_add(evictions, std::memory_order_relaxed);
-  }
+  RecordEvictions(evictions);
 }
 
 std::optional<std::string> LinkingCache::GetPredicateDescription(
     std::string_view iri, std::string_view kg) const {
   auto result = descriptions_.Get(MakeKey(iri, kg));
-  (result.has_value() ? hits_ : misses_)
-      .fetch_add(1, std::memory_order_relaxed);
+  RecordLookup(result.has_value());
   return result;
 }
 
@@ -47,9 +66,7 @@ void LinkingCache::PutPredicateDescription(std::string_view iri,
                                            const std::string& description) {
   size_t evictions = 0;
   descriptions_.Put(MakeKey(iri, kg), description, &evictions);
-  if (evictions > 0) {
-    evictions_.fetch_add(evictions, std::memory_order_relaxed);
-  }
+  RecordEvictions(evictions);
 }
 
 std::optional<std::vector<std::string>> LinkingCache::GetAnchorPredicates(
@@ -58,8 +75,7 @@ std::optional<std::vector<std::string>> LinkingCache::GetAnchorPredicates(
   phrase.push_back('\x1f');
   phrase.push_back(vertex_is_object ? 'S' : 'O');
   auto result = anchor_predicates_.Get(MakeKey(phrase, kg));
-  (result.has_value() ? hits_ : misses_)
-      .fetch_add(1, std::memory_order_relaxed);
+  RecordLookup(result.has_value());
   return result;
 }
 
@@ -71,9 +87,7 @@ void LinkingCache::PutAnchorPredicates(
   phrase.push_back(vertex_is_object ? 'S' : 'O');
   size_t evictions = 0;
   anchor_predicates_.Put(MakeKey(phrase, kg), predicates, &evictions);
-  if (evictions > 0) {
-    evictions_.fetch_add(evictions, std::memory_order_relaxed);
-  }
+  RecordEvictions(evictions);
 }
 
 LinkingCacheStats LinkingCache::stats() const {

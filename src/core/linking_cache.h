@@ -11,7 +11,10 @@
 //
 // The cache is sharded (key-hash → shard, each with its own mutex and LRU
 // list) so the parallel linking fan-out does not serialize on one lock.
-// Hit/miss counters are global atomics surfaced through the eval harness.
+// Hit/miss counters are global atomics surfaced through the eval harness;
+// every lookup is additionally mirrored into the process-wide metrics
+// registry (linking_cache.hits/misses/evictions) and attributed to the
+// calling thread's active obs::Trace for per-question accounting.
 
 #ifndef KGQAN_CORE_LINKING_CACHE_H_
 #define KGQAN_CORE_LINKING_CACHE_H_
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "core/agp.h"
+#include "obs/metrics.h"
 
 namespace kgqan::core {
 
@@ -154,6 +158,11 @@ class LinkingCache {
 
   static std::string MakeKey(std::string_view phrase, std::string_view kg);
 
+  // Bumps the internal counters, the registry mirrors, and the calling
+  // thread's trace attribution for one lookup / `n` evictions.
+  void RecordLookup(bool hit) const;
+  void RecordEvictions(size_t n) const;
+
   // Mutable: Get() reorders the LRU lists and bumps counters; the cache is
   // logically read-only to const callers (the linker's const query path).
   mutable ShardedLru<std::vector<RelevantVertex>> vertices_;
@@ -162,6 +171,10 @@ class LinkingCache {
   mutable std::atomic<size_t> hits_{0};
   mutable std::atomic<size_t> misses_{0};
   mutable std::atomic<size_t> evictions_{0};
+  // Registry mirrors (shared by every cache in the process).
+  obs::Counter* metric_hits_;
+  obs::Counter* metric_misses_;
+  obs::Counter* metric_evictions_;
 };
 
 }  // namespace kgqan::core

@@ -11,6 +11,10 @@
 #include "rdf/term.h"
 #include "sparql/endpoint.h"
 
+namespace kgqan::obs {
+class Trace;
+}  // namespace kgqan::obs
+
 namespace kgqan::core {
 
 // Wall-clock time spent in each of the three QA phases, in milliseconds
@@ -62,6 +66,15 @@ class QaSystem {
   // Answers a natural-language question against the endpoint.
   virtual QaResponse Answer(const std::string& question,
                             sparql::Endpoint& endpoint) = 0;
+
+  // Trace-aware variant: systems that support per-question tracing record
+  // their span tree and counters into `trace` (nullable).  The default
+  // ignores the trace so baseline systems need no changes.
+  virtual QaResponse Answer(const std::string& question,
+                            sparql::Endpoint& endpoint, obs::Trace* trace) {
+    (void)trace;
+    return Answer(question, endpoint);
+  }
 };
 
 }  // namespace kgqan::core

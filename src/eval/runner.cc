@@ -3,21 +3,35 @@
 namespace kgqan::eval {
 
 SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
-                                    benchgen::Benchmark& bench) {
+                                    benchgen::Benchmark& bench,
+                                    const EvalRunOptions& options) {
   SystemBenchmarkResult result;
   result.system = system.name();
   result.benchmark = bench.name;
 
   MacroAverager averager;
-  core::PhaseTimings total;
+  // Phase timings feed run-local histograms; the averages reported in
+  // avg_timings are the histogram means (one source of truth with the
+  // percentile rows the figure harnesses print).
+  obs::Histogram qu_hist(obs::Histogram::DefaultLatencyBucketsMs());
+  obs::Histogram linking_hist(obs::Histogram::DefaultLatencyBucketsMs());
+  obs::Histogram execution_hist(obs::Histogram::DefaultLatencyBucketsMs());
+  obs::Histogram total_hist(obs::Histogram::DefaultLatencyBucketsMs());
   core::RuntimeCounters counters_before = system.Counters();
+  size_t index = 0;
   for (const benchgen::BenchQuestion& q : bench.questions) {
-    core::QaResponse resp = system.Answer(q.text, *bench.endpoint);
+    obs::Trace* trace = nullptr;
+    if (options.traces != nullptr) {
+      trace = options.traces->StartTrace(bench.name + " q" +
+                                         std::to_string(index) + ": " + q.text);
+    }
+    core::QaResponse resp = system.Answer(q.text, *bench.endpoint, trace);
     Prf score = ScoreQuestion(q, resp);
     averager.Add(score);
-    total.qu_ms += resp.timings.qu_ms;
-    total.linking_ms += resp.timings.linking_ms;
-    total.execution_ms += resp.timings.execution_ms;
+    qu_hist.Record(resp.timings.qu_ms);
+    linking_hist.Record(resp.timings.linking_ms);
+    execution_hist.Record(resp.timings.execution_ms);
+    total_hist.Record(resp.timings.TotalMs());
 
     const bool failed = score.r == 0.0 && score.f1 == 0.0;
     if (failed) {
@@ -32,6 +46,7 @@ SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
       ++result.taxonomy.solved_by_shape[shape_idx];
       ++result.taxonomy.solved_by_ling[ling_idx];
     }
+    ++index;
   }
   core::RuntimeCounters counters_after = system.Counters();
   result.linking_cache_hits =
@@ -40,13 +55,19 @@ SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
                                 counters_before.linking_cache_misses;
   result.num_questions = averager.count();
   result.macro = averager.Average();
-  if (result.num_questions > 0) {
-    double n = double(result.num_questions);
-    result.avg_timings.qu_ms = total.qu_ms / n;
-    result.avg_timings.linking_ms = total.linking_ms / n;
-    result.avg_timings.execution_ms = total.execution_ms / n;
-  }
+  result.qu_hist = qu_hist.Snapshot();
+  result.linking_hist = linking_hist.Snapshot();
+  result.execution_hist = execution_hist.Snapshot();
+  result.total_hist = total_hist.Snapshot();
+  result.avg_timings.qu_ms = result.qu_hist.Mean();
+  result.avg_timings.linking_ms = result.linking_hist.Mean();
+  result.avg_timings.execution_ms = result.execution_hist.Mean();
   return result;
+}
+
+SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
+                                    benchgen::Benchmark& bench) {
+  return RunEvaluation(system, bench, EvalRunOptions{});
 }
 
 }  // namespace kgqan::eval

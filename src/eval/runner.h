@@ -12,8 +12,18 @@
 #include "benchgen/benchmark.h"
 #include "core/qa_interface.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kgqan::eval {
+
+// Optional observability hooks for a run.
+struct EvalRunOptions {
+  // When set, one full per-question obs::Trace is recorded into the
+  // collector (labelled "<benchmark> q<i>: <question>"), ready for
+  // Chrome-trace export.  When null, questions run untraced.
+  obs::TraceCollector* traces = nullptr;
+};
 
 struct TaxonomyCounts {
   // Indexed by QueryShape (0 = star, 1 = path).
@@ -30,6 +40,12 @@ struct SystemBenchmarkResult {
   size_t num_questions = 0;
   Prf macro;
   core::PhaseTimings avg_timings;  // Averages over all questions (ms).
+  // Per-phase latency distributions across the run's questions, for
+  // percentile reporting (avg_timings above is their mean).
+  obs::HistogramSnapshot qu_hist;
+  obs::HistogramSnapshot linking_hist;
+  obs::HistogramSnapshot execution_hist;
+  obs::HistogramSnapshot total_hist;
   size_t failures = 0;      // R = 0 and F1 = 0 (Fig. 8).
   size_t qu_failures = 0;   // Failures where understanding itself failed.
   TaxonomyCounts taxonomy;  // Solved = F1 > 0 (Table 5).
@@ -42,6 +58,9 @@ struct SystemBenchmarkResult {
 // Runs `system` over every question of `bench`.  Pre-processing (if the
 // system needs any) must have been performed by the caller, so that its
 // cost is reported separately (Table 2).
+SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
+                                    benchgen::Benchmark& bench,
+                                    const EvalRunOptions& options);
 SystemBenchmarkResult RunEvaluation(core::QaSystem& system,
                                     benchgen::Benchmark& bench);
 

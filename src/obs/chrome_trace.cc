@@ -1,0 +1,104 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace kgqan::obs {
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Micros(int64_t nanos) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", double(nanos) / 1000.0);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+void WriteChromeTrace(const Trace& trace, std::string_view process_name,
+                      uint32_t pid, std::ostream& out) {
+  std::string line = "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                     std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+  AppendJsonString(&line, process_name);
+  line += "}}";
+  out << line << "\n";
+
+  const std::vector<SpanRecord> spans = trace.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    line = "{\"ph\":\"X\",\"name\":";
+    AppendJsonString(&line, span.name);
+    line += ",\"pid\":" + std::to_string(pid) +
+            ",\"tid\":" + std::to_string(span.thread_index) +
+            ",\"ts\":" + Micros(span.start_ns) + ",\"dur\":" +
+            Micros(span.duration_ns < 0 ? int64_t{0} : span.duration_ns);
+    line += ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : span.attributes) {
+      if (!first) line += ",";
+      first = false;
+      AppendJsonString(&line, key);
+      line += ":";
+      AppendJsonString(&line, value);
+    }
+    // Root spans additionally carry the trace's exact per-trace counters,
+    // so the per-question endpoint traffic is visible in the viewer.
+    if (span.parent == kNoSpan) {
+      for (size_t c = 0; c < static_cast<size_t>(TraceCounter::kCount); ++c) {
+        if (!first) line += ",";
+        first = false;
+        AppendJsonString(&line, TraceCounterName(TraceCounter(c)));
+        line += ":" + std::to_string(trace.counter(TraceCounter(c)));
+      }
+    }
+    line += "}}";
+    out << line << "\n";
+  }
+}
+
+void WriteChromeTrace(const TraceCollector& collector, std::ostream& out) {
+  uint32_t pid = 0;
+  for (const TraceCollector::Entry& entry : collector.entries()) {
+    WriteChromeTrace(*entry.trace, entry.label, pid++, out);
+  }
+}
+
+std::string ChromeTraceJsonl(const TraceCollector& collector) {
+  std::ostringstream out;
+  WriteChromeTrace(collector, out);
+  return out.str();
+}
+
+}  // namespace kgqan::obs

@@ -1,0 +1,35 @@
+// Chrome-trace-format export of span trees, one JSON event per line
+// (JSONL).  The emitted events are "X" (complete) duration events plus
+// "M" process_name metadata per trace, which ui.perfetto.dev loads
+// directly; for the legacy chrome://tracing viewer wrap the lines in
+// "[" ... "]" (the format is identical otherwise).
+//
+// Each trace becomes one Chrome "process" (pid = trace index, named by
+// its label, typically the question text); span thread indices become
+// tids, so the linking/execution fan-out shows up as parallel tracks.
+
+#ifndef KGQAN_OBS_CHROME_TRACE_H_
+#define KGQAN_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace kgqan::obs {
+
+// Serializes one trace as pid `pid` named `process_name`.
+void WriteChromeTrace(const Trace& trace, std::string_view process_name,
+                      uint32_t pid, std::ostream& out);
+
+// Serializes every collected trace (pid = collection order).
+void WriteChromeTrace(const TraceCollector& collector, std::ostream& out);
+
+// Convenience: the collector's JSONL as a string (tests, Explain dumps).
+std::string ChromeTraceJsonl(const TraceCollector& collector);
+
+}  // namespace kgqan::obs
+
+#endif  // KGQAN_OBS_CHROME_TRACE_H_

@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace kgqan::obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return std::string(buffer);
+}
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Target rank in (0, count]; the bucket containing it supplies the
+  // interpolation interval.
+  double target = std::max(1.0, p / 100.0 * double(count));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    double before = double(cumulative);
+    cumulative += counts[b];
+    if (double(cumulative) < target) continue;
+    double lower = b == 0 ? 0.0 : bounds[b - 1];
+    // The overflow bucket has no upper bound; the observed max stands in.
+    double upper = b < bounds.size() ? bounds[b] : max;
+    double fraction = (target - before) / double(counts[b]);
+    double value = lower + fraction * (upper - lower);
+    return std::clamp(value, min, max);
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBucketsMs();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+std::vector<double> Histogram::DefaultLatencyBucketsMs() {
+  return {0.05, 0.1,  0.25, 0.5,  1.0,    2.5,    5.0,    10.0,   25.0,
+          50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+}
+
+void Histogram::Record(double value) {
+  // Buckets are (bounds[b-1], bounds[b]]: a value equal to a bound lands in
+  // the bucket it is the upper bound of, matching Percentile's intervals.
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.min =
+      snapshot.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  snapshot.max =
+      snapshot.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name,
+                                 GaugeSnapshot{gauge->Value(), gauge->Max()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, gauge] : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %12lld  (max %lld)\n",
+                    name.c_str(), static_cast<long long>(gauge.value),
+                    static_cast<long long>(gauge.max));
+      out += line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms:\n";
+    std::snprintf(line, sizeof(line), "  %-40s %10s %10s %10s %10s %10s %10s\n",
+                  "", "count", "mean", "p50", "p90", "p95", "p99");
+    out += line;
+    for (const auto& [name, hist] : snapshot.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s %10llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                    name.c_str(), static_cast<unsigned long long>(hist.count),
+                    hist.Mean(), hist.Percentile(50), hist.Percentile(90),
+                    hist.Percentile(95), hist.Percentile(99));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"value\":" + std::to_string(gauge.value) +
+           ",\"max\":" + std::to_string(gauge.max) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":" + std::to_string(hist.count) +
+           ",\"sum\":" + FormatDouble(hist.sum) +
+           ",\"mean\":" + FormatDouble(hist.Mean()) +
+           ",\"p50\":" + FormatDouble(hist.Percentile(50)) +
+           ",\"p90\":" + FormatDouble(hist.Percentile(90)) +
+           ",\"p95\":" + FormatDouble(hist.Percentile(95)) +
+           ",\"p99\":" + FormatDouble(hist.Percentile(99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace kgqan::obs

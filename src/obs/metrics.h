@@ -1,0 +1,164 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms with percentile extraction, collected in a MetricsRegistry
+// and snapshot-exportable as a human-readable table or JSON.
+//
+// Metric objects are lock-free on the record path (relaxed atomics); the
+// registry mutex is taken only on name lookup, so instrumented components
+// resolve their metrics once (constructor or function-local static) and
+// then record without synchronization.  Registry entries are never erased
+// — Reset() zeroes values in place — so resolved references stay valid for
+// the process lifetime.
+
+#ifndef KGQAN_OBS_METRICS_H_
+#define KGQAN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kgqan::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (e.g. thread-pool queue depth) with a high-water
+// mark.  Add/Sub are relaxed; Max() is monotone under concurrency.
+class Gauge {
+ public:
+  void Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(int64_t delta) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Copyable point-in-time view of a Histogram; all derived statistics
+// (mean, percentiles) are computed here so results of concurrent runs can
+// be stored and compared.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    // Ascending bucket upper bounds.
+  std::vector<uint64_t> counts;  // bounds.size() + 1 (last = overflow).
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // Observed extremes (0 when empty).
+  double max = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / double(count); }
+
+  // Estimated p-th percentile (p in [0, 100]) by linear interpolation
+  // inside the bucket holding the target rank, clamped to the observed
+  // [min, max] — so a single-sample histogram returns the sample exactly
+  // and the overflow bucket cannot extrapolate past the largest value.
+  double Percentile(double p) const;
+};
+
+class Histogram {
+ public:
+  // `bounds` are ascending bucket upper bounds; an implicit overflow
+  // bucket covers (bounds.back(), +inf).
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  // Default latency buckets in milliseconds: 50 µs .. 10 s, roughly
+  // 1-2.5-5 per decade.
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+struct GaugeSnapshot {
+  int64_t value = 0;
+  int64_t max = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeSnapshot>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every built-in instrumentation site uses.
+  static MetricsRegistry& Global();
+
+  // Find-or-create by name; returned references are valid for the
+  // registry's lifetime.  For histograms, `bounds` applies only when the
+  // name is first created.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every metric in place (entries and resolved references stay
+  // valid).  For benchmarks/tests that want per-run numbers.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Plain-text table of a snapshot (counters, gauges, then histograms with
+// count/mean/p50/p90/p95/p99).
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot);
+
+// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace kgqan::obs
+
+#endif  // KGQAN_OBS_METRICS_H_

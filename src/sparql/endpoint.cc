@@ -3,6 +3,7 @@
 #include <array>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "sparql/parser.h"
 
@@ -11,21 +12,56 @@ namespace kgqan::sparql {
 Endpoint::Endpoint(std::string name, rdf::Graph graph)
     : name_(std::move(name)), store_(std::move(graph)) {
   text_index_ = std::make_unique<text::TextIndex>(store_);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  metric_requests_ = &registry.GetCounter("endpoint.requests");
+  metric_round_trips_ = &registry.GetCounter("endpoint.round_trips");
+  metric_errors_ = &registry.GetCounter("endpoint.errors");
+  metric_query_latency_ms_ =
+      &registry.GetHistogram("endpoint.query_latency_ms");
 }
 
 util::StatusOr<ResultSet> Endpoint::Query(std::string_view sparql) {
   return QueryBatch(sparql, 1);
 }
 
-util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
-                                               size_t num_probes) {
-  query_count_.fetch_add(num_probes, std::memory_order_relaxed);
-  round_trips_.fetch_add(1, std::memory_order_relaxed);
+util::StatusOr<ResultSet> Endpoint::EvaluateLocked(std::string_view sparql) {
   KGQAN_ASSIGN_OR_RETURN(sparql::Query query, ParseQuery(sparql));
   // Shared lock: the store and text index are read-only during evaluation;
   // only AddNTriples mutates them (under the unique lock).
   std::shared_lock<std::shared_mutex> lock(data_mutex_);
   return Evaluate(query, store_, *text_index_, eval_options_);
+}
+
+util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
+                                               size_t num_probes) {
+  query_count_.fetch_add(num_probes, std::memory_order_relaxed);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  metric_requests_->Add(num_probes);
+  metric_round_trips_->Add(1);
+  // Attribute the traffic to the calling thread's question, not just the
+  // global counters: this is what keeps per-question counts exact when
+  // several questions share the endpoint concurrently.
+  if (obs::Trace* trace = obs::CurrentTrace()) {
+    trace->AddCounter(obs::TraceCounter::kEndpointRequests, num_probes);
+    trace->AddCounter(obs::TraceCounter::kEndpointRoundTrips, 1);
+  }
+  obs::ScopedSpan span("sparql.query");
+  util::StatusOr<ResultSet> result = EvaluateLocked(sparql);
+  metric_query_latency_ms_->Record(span.watch().ElapsedMillis());
+  if (result.ok()) {
+    if (span.recording()) {
+      if (num_probes > 1) {
+        span.AddAttribute("probes", std::to_string(num_probes));
+      }
+      span.AddAttribute("rows", std::to_string(result->is_ask()
+                                                   ? size_t{result->ask_value()}
+                                                   : result->NumRows()));
+    }
+  } else {
+    metric_errors_->Add(1);
+    span.AddAttribute("error", result.status().message());
+  }
+  return result;
 }
 
 util::StatusOr<size_t> Endpoint::AddNTriples(std::string_view ntriples) {

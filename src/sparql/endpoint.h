@@ -13,6 +13,12 @@
 // public endpoint's update channel.  ResetStats() and
 // mutable_eval_options() are configuration calls: do not race them against
 // queries.
+//
+// Observability: besides the global per-endpoint counters, every query is
+// attributed to the calling thread's active obs::Trace (exact per-question
+// request/round-trip counts under concurrency), recorded as a span when
+// the trace collects spans, and fed into the process-wide metrics registry
+// (request counters and a query-latency histogram).
 
 #ifndef KGQAN_SPARQL_ENDPOINT_H_
 #define KGQAN_SPARQL_ENDPOINT_H_
@@ -23,6 +29,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
 #include "rdf/graph.h"
 #include "sparql/evaluator.h"
 #include "sparql/result_set.h"
@@ -97,10 +104,19 @@ class Endpoint {
   EvalOptions& mutable_eval_options() { return eval_options_; }
 
  private:
+  // Runs the parse + evaluate body of QueryBatch (under the reader lock).
+  util::StatusOr<ResultSet> EvaluateLocked(std::string_view sparql);
+
   std::string name_;
   store::TripleStore store_;
   std::unique_ptr<text::TextIndex> text_index_;
   EvalOptions eval_options_;
+  // Process-wide registry metrics (resolved once; registry entries are
+  // never erased, so the pointers stay valid).
+  obs::Counter* metric_requests_;
+  obs::Counter* metric_round_trips_;
+  obs::Counter* metric_errors_;
+  obs::Histogram* metric_query_latency_ms_;
   std::atomic<size_t> query_count_{0};
   std::atomic<size_t> round_trips_{0};
   std::atomic<size_t> generation_{0};

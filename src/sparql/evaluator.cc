@@ -10,6 +10,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace kgqan::sparql {
 
 namespace {
@@ -696,8 +698,21 @@ StatusOr<ResultSet> Evaluate(const Query& query,
                              const store::TripleStore& store,
                              const text::TextIndex& text_index,
                              const EvalOptions& options) {
+  // Registry instrumentation: evaluation volume and result-set sizes
+  // (bucket bounds are row counts, not latencies).
+  static obs::Counter& evaluations =
+      obs::MetricsRegistry::Global().GetCounter("sparql.evaluator.evaluations");
+  static obs::Histogram& result_rows =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "sparql.evaluator.result_rows",
+          {0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0});
+  evaluations.Add(1);
   Evaluator evaluator(store, text_index, options);
-  return evaluator.Run(query);
+  StatusOr<ResultSet> result = evaluator.Run(query);
+  if (result.ok() && !result->is_ask()) {
+    result_rows.Record(double(result->NumRows()));
+  }
+  return result;
 }
 
 }  // namespace kgqan::sparql

@@ -1,10 +1,12 @@
-// Wall-clock stopwatch used by the evaluation harness to time the three
-// KGQAn phases (question understanding, linking, execution & filtration).
+// Wall-clock stopwatch: the single steady-clock wrapper used to time the
+// three KGQAn phases (question understanding, linking, execution &
+// filtration) and to drive the obs:: span/metrics instrumentation.
 
 #ifndef KGQAN_UTIL_STOPWATCH_H_
 #define KGQAN_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace kgqan::util {
 
@@ -13,6 +15,14 @@ class Stopwatch {
   Stopwatch() : start_(Clock::now()) {}
 
   void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction/Restart, in integer nanoseconds (the
+  // granularity obs::Span records).
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
   // Elapsed time since construction/Restart, in milliseconds.
   double ElapsedMillis() const {

@@ -2,6 +2,16 @@
 
 namespace kgqan::util {
 
+const ThreadPool::PoolMetrics& ThreadPool::Metrics() {
+  static const PoolMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return PoolMetrics{&registry.GetGauge("thread_pool.queue_depth"),
+                       &registry.GetHistogram("thread_pool.queue_wait_ms"),
+                       &registry.GetHistogram("thread_pool.task_ms")};
+  }();
+  return metrics;
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -29,6 +39,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    Metrics().queue_depth->Sub(1);
     task();  // packaged_task captures exceptions into the future.
   }
 }

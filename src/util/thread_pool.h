@@ -11,6 +11,11 @@
 //    fan-out therefore always joins futures from the calling thread only.
 //  * Exceptions thrown by a task are captured in its future and rethrown
 //    at future.get(), so callers see them on the joining thread.
+//  * Observability: Submit() captures the submitting thread's trace
+//    context and rebinds it inside the task, so spans and per-trace
+//    counters recorded by pool tasks attribute to the question that
+//    spawned them.  The pool also feeds the global metrics registry:
+//    queue depth (gauge), queue wait and task latency (histograms).
 
 #ifndef KGQAN_UTIL_THREAD_POOL_H_
 #define KGQAN_UTIL_THREAD_POOL_H_
@@ -26,6 +31,10 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace kgqan::util {
 
@@ -43,7 +52,8 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
-  // Enqueues `fn` and returns a future for its result.
+  // Enqueues `fn` and returns a future for its result.  The task runs
+  // under the submitting thread's trace context (see header comment).
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -52,10 +62,19 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
+    obs::TraceContext context = obs::CurrentContext();
+    Stopwatch enqueued;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace_back([task]() { (*task)(); });
+      tasks_.emplace_back([task, context, enqueued]() {
+        obs::ScopedContext bind(context);
+        Metrics().queue_wait_ms->Record(enqueued.ElapsedMillis());
+        Stopwatch run;
+        (*task)();
+        Metrics().task_ms->Record(run.ElapsedMillis());
+      });
     }
+    Metrics().queue_depth->Add(1);
     ready_.notify_one();
     return result;
   }
@@ -68,6 +87,15 @@ class ThreadPool {
   }
 
  private:
+  // The pool's registry metrics, shared by every pool in the process and
+  // resolved once (registry references stay valid for process lifetime).
+  struct PoolMetrics {
+    obs::Gauge* queue_depth;
+    obs::Histogram* queue_wait_ms;
+    obs::Histogram* task_ms;
+  };
+  static const PoolMetrics& Metrics();
+
   void WorkerLoop();
 
   std::mutex mutex_;
