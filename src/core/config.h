@@ -75,6 +75,17 @@ struct KgqanConfig {
   // round-trips but bigger queries (and a coarser endpoint row cap).
   size_t max_batch_size = 16;
 
+  // Cooperative cancellation (not a paper parameter): the engine and the
+  // linker poll the calling thread's util::CancelToken between pipeline
+  // hops — before the linking waves, before each candidate query, and at
+  // every endpoint exchange — so a request whose deadline expired stops
+  // issuing linking probes and candidate queries and returns a
+  // partial-or-empty result flagged deadline_exceeded.  Off makes the
+  // pipeline ignore any bound token (bit-exact legacy behaviour); with no
+  // token bound the polls are a thread-local read each, so the default
+  // costs nothing outside the serving front-end.
+  bool cooperative_cancellation = true;
+
   // Question-understanding model variant (Table 4 ablation).
   qu::TriplePatternGenerator::Options qu;
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/string_util.h"
 
 namespace kgqan::core {
@@ -24,6 +25,12 @@ std::unique_ptr<util::ThreadPool> MakePool(size_t num_threads) {
 std::unique_ptr<LinkingCache> MakeCache(size_t capacity) {
   if (capacity == 0) return nullptr;
   return std::make_unique<LinkingCache>(capacity);
+}
+
+// True when the calling thread's request deadline expired (and the config
+// honours it): the pipeline hop that observes this stops issuing work.
+bool Expired(const KgqanConfig& config) {
+  return config.cooperative_cancellation && util::Cancelled();
 }
 
 }  // namespace
@@ -196,6 +203,10 @@ void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
   bool value = false;
   if (pool_ == nullptr) {
     for (size_t i = 0; i < bgps.size(); ++i) {
+      if (Expired(config_)) {
+        result->deadline_exceeded = true;
+        break;
+      }
       ++result->queries_executed;
       if (run_ask(bgps[i], i, &result->candidates[i])) {
         value = true;
@@ -209,6 +220,10 @@ void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
   // first true (in rank order) decides, exactly as the serial early exit.
   const size_t wave = pool_->size();
   for (size_t start = 0; start < bgps.size() && !value; start += wave) {
+    if (Expired(config_)) {
+      result->deadline_exceeded = true;
+      break;
+    }
     size_t end = std::min(start + wave, bgps.size());
     std::vector<std::future<bool>> futures;
     futures.reserve(end - start);
@@ -266,6 +281,10 @@ void KgqanEngine::ExecuteSelectCandidates(const std::vector<Bgp>& bgps,
   if (pool_ == nullptr) {
     for (size_t i = 0; i < bgps.size(); ++i) {
       const Bgp& bgp = bgps[i];
+      if (Expired(config_)) {
+        result->deadline_exceeded = true;
+        break;
+      }
       // Once an answer set exists, only near-equivalent queries (semantic
       // score within the gap) can extend it.
       if (base_score >= 0.0 && bgp.score < config_.score_gap * base_score) {
@@ -283,6 +302,10 @@ void KgqanEngine::ExecuteSelectCandidates(const std::vector<Bgp>& bgps,
 
   const size_t wave = pool_->size();
   for (size_t start = 0; start < bgps.size(); start += wave) {
+    if (Expired(config_)) {
+      result->deadline_exceeded = true;
+      return;
+    }
     size_t end = std::min(start + wave, bgps.size());
     std::vector<std::future<std::vector<rdf::Term>>> futures;
     futures.reserve(end - start);
@@ -334,6 +357,13 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
   if (!result.response.understood) return result;
   result.response.is_boolean = result.pgp.IsBoolean();
 
+  // Deadline check between phases: an expired request stops before the
+  // first endpoint exchange and returns the partial result.
+  if (Expired(config_)) {
+    result.deadline_exceeded = true;
+    return result;
+  }
+
   // ---- Phase 2: JIT linking against the target KG. ----
   {
     obs::ScopedSpan span("linking");
@@ -354,6 +384,10 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
                         std::to_string(result.linking_round_trips));
     }
     result.response.timings.linking_ms = span.ElapsedMillis();
+  }
+  if (Expired(config_)) {
+    result.deadline_exceeded = true;
+    return result;
   }
 
   // ---- Phase 3: execution and filtration. ----

@@ -54,6 +54,11 @@ struct KgqanResult {
   // of this question binds via thread-local context.
   size_t linking_requests = 0;
   size_t linking_round_trips = 0;
+  // True when cooperative cancellation truncated the pipeline (the bound
+  // util::CancelToken expired mid-question): the response holds whatever
+  // was complete at that point — possibly no answers at all — and the
+  // linking cache holds no entries produced after the expiry.
+  bool deadline_exceeded = false;
 };
 
 // Renders a human-readable trace of the pipeline for `result`: the PGP,
@@ -91,6 +96,12 @@ class KgqanEngine : public QaSystem {
   // batches and candidate queries).  With nullptr the engine still binds a
   // private counters-only trace, so linking_requests/linking_round_trips
   // are exact either way and span bookkeeping costs nothing.
+  //
+  // Deadlines: when Config::cooperative_cancellation is on and the calling
+  // thread has a util::CancelToken bound (see serve::QaServer), the
+  // pipeline polls it between phases, before every candidate query, and at
+  // every endpoint exchange; on expiry it stops issuing work and returns
+  // the partial result with deadline_exceeded set.
   KgqanResult AnswerFull(const std::string& question,
                          sparql::Endpoint& endpoint,
                          obs::Trace* trace = nullptr) const;

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/tokenizer.h"
+#include "util/cancel.h"
 #include "util/string_util.h"
 
 namespace kgqan::core {
@@ -32,6 +33,15 @@ obs::Histogram& RelationLinkLatency() {
   static obs::Histogram& histogram =
       obs::MetricsRegistry::Global().GetHistogram("linker.relation_link_ms");
   return histogram;
+}
+
+// True when the calling thread's request deadline expired (and the config
+// honours it).  Results produced on or after an expiry are partial — the
+// underlying probes fail fast at the endpoint — so they must never reach
+// the linking cache: a poisoned empty entry would outlive the request and
+// serve wrong links to healthy questions.
+bool Expired(const KgqanConfig* config) {
+  return config->cooperative_cancellation && util::Cancelled();
 }
 
 // Truncates a scored vector to its top-k by score (stable for ties).
@@ -69,7 +79,7 @@ std::vector<RelevantVertex> JitLinker::LinkEntity(
     return *std::move(cached);
   }
   std::vector<RelevantVertex> out = LinkEntityUncached(label, endpoint);
-  cache_->PutVertices(label, kg, out);
+  if (!Expired(config_)) cache_->PutVertices(label, kg, out);
   return out;
 }
 
@@ -151,7 +161,9 @@ std::string JitLinker::PredicateDescription(const std::string& iri,
       }
     }
   }
-  if (cache_ != nullptr) cache_->PutPredicateDescription(iri, kg, description);
+  if (cache_ != nullptr && !Expired(config_)) {
+    cache_->PutPredicateDescription(iri, kg, description);
+  }
   return description;
 }
 
@@ -340,7 +352,9 @@ void JitLinker::LinkNodesBatched(const qu::Pgp& pgp, Agp* agp,
     }
     for (size_t k = 0; k < chunk.size(); ++k) {
       std::vector<RelevantVertex> out = ScoreEntityRows(chunk[k], rows[k]);
-      if (cache_ != nullptr) cache_->PutVertices(chunk[k], kg, out);
+      if (cache_ != nullptr && !Expired(config_)) {
+        cache_->PutVertices(chunk[k], kg, out);
+      }
       resolved.emplace(chunk[k], std::move(out));
     }
   }
@@ -483,7 +497,7 @@ void JitLinker::LinkEdgesBatched(Agp* agp,
         it->second->push_back(p->value);
       }
     }
-    if (cache_ != nullptr) {
+    if (cache_ != nullptr && !Expired(config_)) {
       for (const Probe& pr : chunk) {
         const auto& preds = resolved[key_of(pr.iri, pr.vertex_is_object)];
         if (preds.has_value()) {

@@ -33,6 +33,8 @@ std::string_view TraceCounterName(TraceCounter counter) {
       return "endpoint.requests";
     case TraceCounter::kEndpointRoundTrips:
       return "endpoint.round_trips";
+    case TraceCounter::kEndpointCancelled:
+      return "endpoint.cancelled";
     case TraceCounter::kLinkingCacheHits:
       return "linking_cache.hits";
     case TraceCounter::kLinkingCacheMisses:

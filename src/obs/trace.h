@@ -58,6 +58,7 @@ uint32_t CurrentThreadIndex();
 enum class TraceCounter : size_t {
   kEndpointRequests = 0,   // Logical SPARQL requests (batch probes count).
   kEndpointRoundTrips,     // Physical query exchanges.
+  kEndpointCancelled,      // Queries dropped by a cancelled/expired token.
   kLinkingCacheHits,
   kLinkingCacheMisses,
   kCount,

@@ -1,0 +1,153 @@
+#include "serve/qa_server.h"
+
+#include <utility>
+
+namespace kgqan::serve {
+
+QaServer::QaServer(std::vector<const core::KgqanEngine*> engines,
+                   sparql::Endpoint* endpoint, QaServerOptions options)
+    : engines_(std::move(engines)),
+      endpoint_(endpoint),
+      options_(options),
+      queue_(options.queue_capacity) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  metric_queue_depth_ = &registry.GetGauge("serve.queue_depth");
+  metric_admitted_ = &registry.GetCounter("serve.admitted");
+  metric_rejected_overloaded_ =
+      &registry.GetCounter("serve.rejected.overloaded");
+  metric_rejected_unavailable_ =
+      &registry.GetCounter("serve.rejected.unavailable");
+  metric_completed_ = &registry.GetCounter("serve.completed");
+  metric_deadline_exceeded_ = &registry.GetCounter("serve.deadline_exceeded");
+  metric_queue_wait_ms_ = &registry.GetHistogram("serve.queue_wait_ms");
+  metric_e2e_ms_ = &registry.GetHistogram("serve.e2e_ms");
+
+  size_t num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+QaServer::~QaServer() { Shutdown(); }
+
+util::StatusOr<std::future<QaServerResponse>> QaServer::Submit(
+    std::string question, double deadline_ms) {
+  double ms = deadline_ms > 0.0 ? deadline_ms : options_.default_deadline_ms;
+  Request request;
+  request.question = std::move(question);
+  if (ms > 0.0) {
+    request.token = util::CancelToken::WithDeadlineMillis(ms);
+  }
+  std::future<QaServerResponse> future = request.promise.get_future();
+  // Count the request in flight *before* pushing: a worker may pop and
+  // complete it before TryPush even returns, and the pending count must
+  // never dip below the number of admitted-but-uncompleted requests.
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  switch (queue_.TryPush(std::move(request))) {
+    case BoundedQueue<Request>::PushResult::kOk:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      metric_admitted_->Add(1);
+      metric_queue_depth_->Add(1);
+      return future;
+    case BoundedQueue<Request>::PushResult::kFull:
+      FinishOne();
+      rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      metric_rejected_overloaded_->Add(1);
+      return util::Status::Overloaded("admission queue full");
+    case BoundedQueue<Request>::PushResult::kClosed:
+      FinishOne();
+      rejected_unavailable_.fetch_add(1, std::memory_order_relaxed);
+      metric_rejected_unavailable_->Add(1);
+      return util::Status::Unavailable("server draining or shut down");
+  }
+  return util::Status::Internal("unreachable");
+}
+
+util::StatusOr<QaServerResponse> QaServer::Ask(std::string question,
+                                               double deadline_ms) {
+  auto future = Submit(std::move(question), deadline_ms);
+  if (!future.ok()) return future.status();
+  return future->get();
+}
+
+void QaServer::WorkerLoop(size_t worker_index) {
+  const core::KgqanEngine* engine =
+      engines_[worker_index % engines_.size()];
+  while (std::optional<Request> request = queue_.Pop()) {
+    metric_queue_depth_->Sub(1);
+    QaServerResponse response;
+    response.question = request->question;
+    response.queue_ms = request->admitted.ElapsedMillis();
+    metric_queue_wait_ms_->Record(response.queue_ms);
+    obs::Trace* trace =
+        options_.collector != nullptr
+            ? options_.collector->StartTrace(request->question)
+            : nullptr;
+    if (request->token.Cancelled()) {
+      // The deadline expired while the request sat in the queue: answer
+      // DeadlineExceeded without touching the engine at all.
+      response.deadline_exceeded = true;
+    } else {
+      // Bind the request's token so the whole pipeline under AnswerFull —
+      // including its thread-pool fan-out — observes this deadline.
+      util::ScopedCancelToken bind(request->token);
+      response.result = engine->AnswerFull(request->question, *endpoint_,
+                                           trace);
+      response.deadline_exceeded = response.result.deadline_exceeded;
+    }
+    response.total_ms = request->admitted.ElapsedMillis();
+    metric_e2e_ms_->Record(response.total_ms);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metric_completed_->Add(1);
+    if (response.deadline_exceeded) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      metric_deadline_exceeded_->Add(1);
+    }
+    // Fulfill before decrementing, so a caller woken by Drain() finds
+    // every admitted future already ready.
+    request->promise.set_value(std::move(response));
+    FinishOne();
+  }
+}
+
+void QaServer::FinishOne() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Lock/unlock pairs with the Drain predicate check so the final
+    // notify cannot slip between a waiter's check and its sleep.
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_.notify_all();
+  }
+}
+
+void QaServer::Drain() {
+  queue_.Close();  // Stop admission; workers still drain admitted items.
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void QaServer::Shutdown() {
+  Drain();
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+QaServerStats QaServer::stats() const {
+  QaServerStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected_overloaded =
+      rejected_overloaded_.load(std::memory_order_relaxed);
+  stats.rejected_unavailable =
+      rejected_unavailable_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.size();
+  return stats;
+}
+
+}  // namespace kgqan::serve

@@ -1,11 +1,15 @@
 #include "sparql/endpoint.h"
 
 #include <array>
+#include <chrono>
 #include <mutex>
+#include <thread>
 
 #include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "sparql/parser.h"
+#include "util/cancel.h"
+#include "util/stopwatch.h"
 
 namespace kgqan::sparql {
 
@@ -16,6 +20,7 @@ Endpoint::Endpoint(std::string name, rdf::Graph graph)
   metric_requests_ = &registry.GetCounter("endpoint.requests");
   metric_round_trips_ = &registry.GetCounter("endpoint.round_trips");
   metric_errors_ = &registry.GetCounter("endpoint.errors");
+  metric_cancelled_ = &registry.GetCounter("endpoint.cancelled");
   metric_query_latency_ms_ =
       &registry.GetHistogram("endpoint.query_latency_ms");
 }
@@ -32,8 +37,36 @@ util::StatusOr<ResultSet> Endpoint::EvaluateLocked(std::string_view sparql) {
   return Evaluate(query, store_, *text_index_, eval_options_);
 }
 
+bool Endpoint::SleepInjectedLatency() const {
+  int64_t us = injected_latency_us_.load(std::memory_order_relaxed);
+  if (us <= 0) return true;
+  // Chunked sleep so an expiring deadline interrupts the simulated network
+  // wait promptly instead of after the full injected latency.
+  constexpr int64_t kChunkUs = 200;
+  util::Stopwatch watch;
+  while (watch.ElapsedMillis() * 1000.0 < static_cast<double>(us)) {
+    if (util::Cancelled()) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(kChunkUs));
+  }
+  return !util::Cancelled();
+}
+
+void Endpoint::RecordCancelled() {
+  cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+  metric_cancelled_->Add(1);
+  if (obs::Trace* trace = obs::CurrentTrace()) {
+    trace->AddCounter(obs::TraceCounter::kEndpointCancelled, 1);
+  }
+}
+
 util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
                                                size_t num_probes) {
+  // Fail fast on an expired request: the query never leaves the client,
+  // so neither query_count nor round_trips move.
+  if (util::Cancelled()) {
+    RecordCancelled();
+    return util::Status::DeadlineExceeded("query dropped: deadline expired");
+  }
   query_count_.fetch_add(num_probes, std::memory_order_relaxed);
   round_trips_.fetch_add(1, std::memory_order_relaxed);
   metric_requests_->Add(num_probes);
@@ -46,6 +79,12 @@ util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
     trace->AddCounter(obs::TraceCounter::kEndpointRoundTrips, 1);
   }
   obs::ScopedSpan span("sparql.query");
+  if (!SleepInjectedLatency()) {
+    // The exchange was issued (and counted) but the deadline expired while
+    // it was in flight: abandon it without evaluating.
+    RecordCancelled();
+    return util::Status::DeadlineExceeded("query abandoned: deadline expired");
+  }
   util::StatusOr<ResultSet> result = EvaluateLocked(sparql);
   metric_query_latency_ms_->Record(span.watch().ElapsedMillis());
   if (result.ok()) {

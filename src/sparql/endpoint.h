@@ -19,11 +19,25 @@
 // request/round-trip counts under concurrency), recorded as a span when
 // the trace collects spans, and fed into the process-wide metrics registry
 // (request counters and a query-latency histogram).
+//
+// Cancellation: Query()/QueryBatch() poll the calling thread's
+// util::CancelToken.  An already-expired token fails fast with
+// DeadlineExceeded before any exchange is counted; a token expiring during
+// the (injected) exchange latency aborts the wait and skips evaluation.
+// Cancelled queries count in the serve-side cancellation metrics, never in
+// query_count()/round_trips() unless the exchange was actually issued.
+//
+// Testing: set_injected_latency_ms() adds an artificial delay to every
+// query, simulating the network round-trip of a remote public endpoint
+// (deadline tests and the serving benchmark's open/closed-loop load
+// generator use this).  The sleep is chunked so cancellation interrupts it
+// promptly.
 
 #ifndef KGQAN_SPARQL_ENDPOINT_H_
 #define KGQAN_SPARQL_ENDPOINT_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -103,9 +117,29 @@ class Endpoint {
 
   EvalOptions& mutable_eval_options() { return eval_options_; }
 
+  // Latency injection point (tests / serving benchmark): every query
+  // sleeps `ms` before evaluating, as if the endpoint were remote.  Safe
+  // to flip concurrently with queries (atomic); 0 disables.
+  void set_injected_latency_ms(double ms) {
+    injected_latency_us_.store(static_cast<int64_t>(ms * 1000.0),
+                               std::memory_order_relaxed);
+  }
+
+  // Queries dropped because the caller's cancellation token had expired.
+  size_t cancelled_count() const {
+    return cancelled_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Runs the parse + evaluate body of QueryBatch (under the reader lock).
   util::StatusOr<ResultSet> EvaluateLocked(std::string_view sparql);
+
+  // Sleeps the injected latency in small chunks, returning false if the
+  // calling thread's cancellation token expired mid-wait.
+  bool SleepInjectedLatency() const;
+
+  // Records one cancelled query (metrics + trace attribution).
+  void RecordCancelled();
 
   std::string name_;
   store::TripleStore store_;
@@ -116,9 +150,12 @@ class Endpoint {
   obs::Counter* metric_requests_;
   obs::Counter* metric_round_trips_;
   obs::Counter* metric_errors_;
+  obs::Counter* metric_cancelled_;
   obs::Histogram* metric_query_latency_ms_;
   std::atomic<size_t> query_count_{0};
   std::atomic<size_t> round_trips_{0};
+  std::atomic<size_t> cancelled_count_{0};
+  std::atomic<int64_t> injected_latency_us_{0};
   std::atomic<size_t> generation_{0};
   // Readers-writer lock between Query (shared) and AddNTriples (unique).
   std::shared_mutex data_mutex_;

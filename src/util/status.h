@@ -24,6 +24,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,  // A per-request deadline expired (cooperative cancel).
+  kOverloaded,        // Admission queue full: retry later (backpressure).
+  kUnavailable,       // Server draining / shut down: not admitting work.
 };
 
 // Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +63,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

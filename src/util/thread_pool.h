@@ -16,6 +16,10 @@
 //    counters recorded by pool tasks attribute to the question that
 //    spawned them.  The pool also feeds the global metrics registry:
 //    queue depth (gauge), queue wait and task latency (histograms).
+//  * Cancellation: Submit() likewise captures the submitting thread's
+//    util::CancelToken and rebinds it inside the task, so a request's
+//    deadline cooperatively cancels the linking/execution fan-out it
+//    spawned (the task still runs — it observes the token and unwinds).
 
 #ifndef KGQAN_UTIL_THREAD_POOL_H_
 #define KGQAN_UTIL_THREAD_POOL_H_
@@ -34,6 +38,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/stopwatch.h"
 
 namespace kgqan::util {
@@ -53,7 +58,8 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
   // Enqueues `fn` and returns a future for its result.  The task runs
-  // under the submitting thread's trace context (see header comment).
+  // under the submitting thread's trace context and cancellation token
+  // (see header comment), so a request's deadline follows its fan-out.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -63,11 +69,13 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     obs::TraceContext context = obs::CurrentContext();
+    CancelToken cancel = CurrentCancelToken();
     Stopwatch enqueued;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace_back([task, context, enqueued]() {
+      tasks_.emplace_back([task, context, cancel, enqueued]() {
         obs::ScopedContext bind(context);
+        ScopedCancelToken bind_cancel(cancel);
         Metrics().queue_wait_ms->Record(enqueued.ElapsedMillis());
         Stopwatch run;
         (*task)();

@@ -1,0 +1,208 @@
+// Property test for serve::BoundedQueue under random producer/consumer
+// interleavings: per-producer FIFO order, capacity never exceeded, no
+// item lost or duplicated, and Close() wakes every blocked Pop().
+//
+// The binary has its own main: `--seed=N` (or the KGQAN_PROPERTY_SEED
+// environment variable) reseeds the generator, so CI can rotate seeds and
+// a failure is reproducible locally with the printed flag.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+#include "util/rng.h"
+
+namespace kgqan::serve {
+
+// Set from --seed / KGQAN_PROPERTY_SEED in main() before RUN_ALL_TESTS.
+uint64_t g_property_seed = 0xC0FFEEu;
+
+namespace {
+
+struct Item {
+  size_t producer = 0;
+  size_t sequence = 0;
+};
+
+// Random mix of producers and consumers over a random-capacity queue.
+// Producers spin TryPush until accepted (so every item is eventually
+// admitted); consumers Pop until the queue reports closed-and-empty.
+TEST(ServeQueuePropertyTest, RandomInterleavingsKeepInvariants) {
+  util::Rng master(g_property_seed);
+  for (int round = 0; round < 8; ++round) {
+    const size_t capacity = static_cast<size_t>(master.UniformInt(1, 8));
+    const size_t num_producers = static_cast<size_t>(master.UniformInt(1, 4));
+    const size_t num_consumers = static_cast<size_t>(master.UniformInt(1, 4));
+    const size_t per_producer = static_cast<size_t>(master.UniformInt(5, 60));
+    SCOPED_TRACE("round " + std::to_string(round) + ": capacity=" +
+                 std::to_string(capacity) + " producers=" +
+                 std::to_string(num_producers) + " consumers=" +
+                 std::to_string(num_consumers) + " per_producer=" +
+                 std::to_string(per_producer));
+
+    BoundedQueue<Item> queue(capacity);
+    std::atomic<size_t> rejected_pushes{0};
+    std::atomic<bool> capacity_exceeded{false};
+
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < num_producers; ++p) {
+      const uint64_t thread_seed = master.Next();
+      producers.emplace_back([&, p, thread_seed] {
+        util::Rng rng(thread_seed);
+        for (size_t i = 0; i < per_producer; ++i) {
+          for (;;) {
+            if (queue.size() > queue.capacity()) {
+              capacity_exceeded.store(true);
+            }
+            auto result = queue.TryPush(Item{p, i});
+            if (result == BoundedQueue<Item>::PushResult::kOk) break;
+            ASSERT_EQ(result, BoundedQueue<Item>::PushResult::kFull);
+            rejected_pushes.fetch_add(1, std::memory_order_relaxed);
+            if (rng.UniformInt(0, 3) == 0) std::this_thread::yield();
+          }
+        }
+      });
+    }
+
+    std::mutex consumed_mutex;
+    std::vector<Item> consumed;
+    std::vector<std::thread> consumers;
+    for (size_t c = 0; c < num_consumers; ++c) {
+      consumers.emplace_back([&] {
+        std::vector<Item> local;
+        while (std::optional<Item> item = queue.Pop()) {
+          local.push_back(*item);
+        }
+        std::lock_guard<std::mutex> lock(consumed_mutex);
+        consumed.insert(consumed.end(), local.begin(), local.end());
+      });
+    }
+
+    for (std::thread& producer : producers) producer.join();
+    queue.Close();  // Consumers drain the remainder, then exit.
+    for (std::thread& consumer : consumers) consumer.join();
+
+    EXPECT_FALSE(capacity_exceeded.load())
+        << "observed size above capacity " << capacity;
+    // Closed + drained: no stragglers left behind.
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_EQ(queue.TryPush(Item{0, 0}),
+              BoundedQueue<Item>::PushResult::kClosed);
+
+    // No loss, no duplication: every (producer, sequence) pair appears
+    // exactly once across all consumers.
+    ASSERT_EQ(consumed.size(), num_producers * per_producer);
+    std::vector<std::vector<bool>> seen(
+        num_producers, std::vector<bool>(per_producer, false));
+    for (const Item& item : consumed) {
+      ASSERT_LT(item.producer, num_producers);
+      ASSERT_LT(item.sequence, per_producer);
+      EXPECT_FALSE(seen[item.producer][item.sequence])
+          << "duplicate item p" << item.producer << "#" << item.sequence;
+      seen[item.producer][item.sequence] = true;
+    }
+  }
+}
+
+// FIFO per producer: with a single consumer, the sequence numbers of each
+// producer arrive strictly increasing (the queue may interleave
+// producers, but never reorders one producer's items).
+TEST(ServeQueuePropertyTest, PerProducerFifoWithSingleConsumer) {
+  util::Rng master(g_property_seed ^ 0xF1F0F1F0u);
+  for (int round = 0; round < 8; ++round) {
+    const size_t capacity = static_cast<size_t>(master.UniformInt(1, 6));
+    const size_t num_producers = static_cast<size_t>(master.UniformInt(1, 4));
+    const size_t per_producer =
+        static_cast<size_t>(master.UniformInt(10, 80));
+    BoundedQueue<Item> queue(capacity);
+
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < num_producers; ++p) {
+      const uint64_t thread_seed = master.Next();
+      producers.emplace_back([&, p, thread_seed] {
+        util::Rng rng(thread_seed);
+        for (size_t i = 0; i < per_producer; ++i) {
+          while (queue.TryPush(Item{p, i}) !=
+                 BoundedQueue<Item>::PushResult::kOk) {
+            if (rng.UniformInt(0, 1) == 0) std::this_thread::yield();
+          }
+        }
+      });
+    }
+
+    std::vector<size_t> next_expected(num_producers, 0);
+    std::thread consumer([&] {
+      while (std::optional<Item> item = queue.Pop()) {
+        EXPECT_EQ(item->sequence, next_expected[item->producer])
+            << "producer " << item->producer << " reordered";
+        next_expected[item->producer] = item->sequence + 1;
+      }
+    });
+
+    for (std::thread& producer : producers) producer.join();
+    queue.Close();
+    consumer.join();
+    for (size_t p = 0; p < num_producers; ++p) {
+      EXPECT_EQ(next_expected[p], per_producer);
+    }
+  }
+}
+
+// Close() must wake every Pop() blocked on an empty queue — a consumer
+// pool stuck in Pop() would deadlock Shutdown otherwise.
+TEST(ServeQueuePropertyTest, CloseWakesAllBlockedPoppers) {
+  util::Rng master(g_property_seed ^ 0xAB1DE5u);
+  for (int round = 0; round < 8; ++round) {
+    const size_t num_poppers = static_cast<size_t>(master.UniformInt(1, 6));
+    BoundedQueue<Item> queue(static_cast<size_t>(master.UniformInt(1, 4)));
+    std::atomic<size_t> woke{0};
+    std::vector<std::thread> poppers;
+    for (size_t c = 0; c < num_poppers; ++c) {
+      poppers.emplace_back([&] {
+        // Queue stays empty: Pop blocks until Close, then returns nullopt.
+        EXPECT_EQ(queue.Pop(), std::nullopt);
+        woke.fetch_add(1);
+      });
+    }
+    // Give the poppers a chance to actually block before closing.
+    std::this_thread::yield();
+    queue.Close();
+    for (std::thread& popper : poppers) popper.join();
+    EXPECT_EQ(woke.load(), num_poppers);
+    // Close is idempotent.
+    queue.Close();
+    EXPECT_EQ(queue.Pop(), std::nullopt);
+  }
+}
+
+}  // namespace
+}  // namespace kgqan::serve
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  uint64_t seed = kgqan::serve::g_property_seed;
+  if (const char* env = std::getenv("KGQAN_PROPERTY_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  kgqan::serve::g_property_seed = seed;
+  std::printf("[property] seed=%llu  (repro: serve_queue_property_test "
+              "--seed=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  return RUN_ALL_TESTS();
+}
