@@ -1,0 +1,162 @@
+// Intra-query sharding microbenchmark: single-query latency of wide-scan
+// SPARQL queries against one endpoint as Config::intra_query_threads grows,
+// plus the two satellite numbers that ride on the same store — parallel
+// versus serial six-permutation index build time and the corrected
+// ApproxIndexBytes footprint.
+//
+// Every sharded run is checked byte-identical to the threads=1 reference
+// before its timing is reported; a speedup printed here is a speedup of the
+// *same* answer.  Numbers depend on the machine's core count (printed in
+// the header): on a single-core host every speedup is ~1.0x by construction.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "benchgen/kg.h"
+#include "sparql/endpoint.h"
+#include "sparql/result_set.h"
+#include "store/triple_store.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using kgqan::sparql::ResultSet;
+
+bool SameResults(const ResultSet& a, const ResultSet& b) {
+  return a.is_ask() == b.is_ask() && a.ask_value() == b.ask_value() &&
+         a.columns() == b.columns() && a.rows() == b.rows();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgqan;
+  const double scale = bench::ParseScale(argc, argv);
+  constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+  constexpr int kReps = 3;
+
+  std::printf("Intra-query sharding: one query, all cores "
+              "(hardware threads on this host: %u)\n",
+              std::thread::hardware_concurrency());
+
+  // The MAG-style builder is the largest (~10-100x the general KGs at the
+  // same scale), so a single scan has enough width to split into morsels
+  // at the default thresholds.
+  benchgen::BuiltKg kg =
+      benchgen::BuildScholarlyKg(benchgen::KgFlavor::kMag, scale, 42);
+  std::printf("KG: %s, %zu triples (scale %.2f)\n", kg.name.c_str(),
+              kg.graph.size(), scale);
+
+  // Satellite: parallel TripleStore construction.  The builder is seeded,
+  // so regenerating yields the identical graph (rdf::Graph is move-only);
+  // only the wall time of the six permutation sorts differs.
+  double build_serial_ms = 0.0;
+  double build_parallel_ms = 0.0;
+  {
+    rdf::Graph g = benchgen::BuildScholarlyKg(benchgen::KgFlavor::kMag, scale,
+                                              42)
+                       .graph;
+    util::Stopwatch w;
+    store::TripleStore serial(std::move(g), /*build_threads=*/1);
+    build_serial_ms = w.ElapsedMillis();
+  }
+  {
+    rdf::Graph g = benchgen::BuildScholarlyKg(benchgen::KgFlavor::kMag, scale,
+                                              42)
+                       .graph;
+    util::Stopwatch w;
+    store::TripleStore parallel(std::move(g), /*build_threads=*/8);
+    build_parallel_ms = w.ElapsedMillis();
+  }
+  std::printf("index build: serial %.1f ms, 8-thread %.1f ms (%.2fx)\n",
+              build_serial_ms, build_parallel_ms,
+              build_serial_ms / (build_parallel_ms > 0.0 ? build_parallel_ms
+                                                         : 1.0));
+
+  // A productive two-hop chain predicate: one whose objects are entities
+  // of the same type as its subjects (e.g. paper-cites-paper), so the
+  // self-join below actually produces rows.
+  std::string chain_pred;
+  size_t chain_facts = 0;
+  for (const auto& [key, facts] : kg.facts) {
+    if (facts.empty()) continue;
+    const benchgen::Fact& f = facts.front();
+    if (f.object_type_key.empty()) continue;  // literal objects
+    const bool self_typed = f.object_type_key == f.subject.type_key;
+    // Prefer self-typed relations; fall back to the widest entity relation.
+    if ((self_typed && (chain_facts == 0 || facts.size() > chain_facts)) ||
+        (chain_pred.empty() && !facts.empty())) {
+      chain_pred = f.predicate_iri;
+      chain_facts = facts.size();
+    }
+  }
+
+  struct QuerySpec {
+    const char* label;
+    std::string text;
+  };
+  std::vector<QuerySpec> specs = {
+      {"count-scan", "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }"},
+      {"distinct-pred", "SELECT DISTINCT ?p WHERE { ?s ?p ?o }"},
+  };
+  if (!chain_pred.empty()) {
+    specs.push_back({"count-join-2hop",
+                     "SELECT (COUNT(?a) AS ?n) WHERE { ?a <" + chain_pred +
+                         "> ?b . ?b <" + chain_pred + "> ?c }"});
+  }
+
+  sparql::EndpointOptions ep_options;
+  ep_options.build_threads = 8;
+  sparql::Endpoint ep("mag-shard", std::move(kg.graph), ep_options);
+  // Let the join's intermediate result grow past the default cap so the
+  // second step has real parallel work; identical for every lane.
+  ep.mutable_eval_options().max_rows = 4'000'000;
+  std::printf("index footprint: %.1f MiB "
+              "(six permutation indexes + term dictionary)\n\n",
+              static_cast<double>(ep.store().ApproxIndexBytes()) /
+                  (1024.0 * 1024.0));
+
+  bench::PrintRule(78);
+  std::printf("%-16s", "query");
+  for (size_t t : kThreadCounts) std::printf("   t=%zu (ms)", t);
+  std::printf("  speedup@8\n");
+  bench::PrintRule(78);
+
+  bool all_identical = true;
+  for (const QuerySpec& spec : specs) {
+    std::printf("%-16s", spec.label);
+    double serial_ms = 0.0;
+    double last_ms = 0.0;
+    ResultSet reference{std::vector<std::string>{}};
+    for (size_t t : kThreadCounts) {
+      ep.set_intra_query_threads(t);
+      double best_ms = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        util::Stopwatch w;
+        auto rs = ep.Query(spec.text);
+        double ms = w.ElapsedMillis();
+        if (!rs.ok()) {
+          std::printf("\nquery failed: %s\n", rs.status().message().c_str());
+          return 1;
+        }
+        if (rep == 0 && t == 1) reference = std::move(*rs);
+        if (t != 1 && rep == 0 && !SameResults(reference, *rs)) {
+          all_identical = false;
+        }
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (t == 1) serial_ms = best_ms;
+      last_ms = best_ms;
+      std::printf("  %9.2f", best_ms);
+    }
+    std::printf("  %8.2fx\n", serial_ms / (last_ms > 0.0 ? last_ms : 1.0));
+  }
+  bench::PrintRule(78);
+  std::printf("sharded results byte-identical to serial: %s\n",
+              all_identical ? "yes" : "NO — BUG");
+  return all_identical ? 0 : 1;
+}

@@ -57,6 +57,16 @@ struct KgqanConfig {
   // execute queries the serial early-exit would have skipped.
   size_t num_threads = 0;
 
+  // Threads a *single* SPARQL query may use inside the endpoint's
+  // evaluator (morsel-sharded BGP join steps; not a paper parameter).
+  // Orthogonal to num_threads, which parallelizes *across* linking probes
+  // and candidate queries: both kinds of task share one bounded pool
+  // budget without deadlock (see util::ParallelFor).  0 = hardware
+  // concurrency; 1 keeps the exact legacy serial evaluator.  Applied to an
+  // endpoint via KgqanEngine::ConfigureEndpoint (the serving front-end
+  // does this at startup).
+  size_t intra_query_threads = 1;
+
   // Total entries per mode of the sharded LRU linking cache keyed by
   // (phrase, KG identity, mode); repeated questions skip the endpoint
   // round-trips of Sec. 5 entirely.  0 disables caching.

@@ -113,6 +113,13 @@ class KgqanEngine : public QaSystem {
   const embed::SemanticAffinity& affinity() const { return *affinity_; }
   const qu::TriplePatternGenerator& generator() const { return generator_; }
 
+  // Applies the engine's endpoint-side configuration (currently
+  // Config::intra_query_threads) to `endpoint`.  Configuration call — run
+  // it before serving queries, not concurrently with them.
+  void ConfigureEndpoint(sparql::Endpoint& endpoint) const {
+    endpoint.set_intra_query_threads(config_.intra_query_threads);
+  }
+
   // Worker threads actually in use (1 = serial pipeline).
   size_t effective_threads() const { return pool_ ? pool_->size() : 1; }
   const LinkingCache* linking_cache() const { return cache_.get(); }

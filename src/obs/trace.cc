@@ -39,6 +39,8 @@ std::string_view TraceCounterName(TraceCounter counter) {
       return "linking_cache.hits";
     case TraceCounter::kLinkingCacheMisses:
       return "linking_cache.misses";
+    case TraceCounter::kEvalMorsels:
+      return "eval.morsels";
     case TraceCounter::kCount:
       break;
   }

@@ -61,6 +61,7 @@ enum class TraceCounter : size_t {
   kEndpointCancelled,      // Queries dropped by a cancelled/expired token.
   kLinkingCacheHits,
   kLinkingCacheMisses,
+  kEvalMorsels,  // Morsels spawned by sharded BGP join steps.
   kCount,
 };
 

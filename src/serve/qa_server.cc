@@ -22,6 +22,14 @@ QaServer::QaServer(std::vector<const core::KgqanEngine*> engines,
   metric_queue_wait_ms_ = &registry.GetHistogram("serve.queue_wait_ms");
   metric_e2e_ms_ = &registry.GetHistogram("serve.e2e_ms");
 
+  // Apply the engines' endpoint-side configuration (intra-query sharding)
+  // before any worker can pick up a request: this is the single spot where
+  // Config::intra_query_threads reaches the endpoint in a served process.
+  if (!engines_.empty() && engines_.front() != nullptr &&
+      endpoint_ != nullptr) {
+    engines_.front()->ConfigureEndpoint(*endpoint_);
+  }
+
   size_t num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
   workers_.reserve(num_workers);
   for (size_t w = 0; w < num_workers; ++w) {

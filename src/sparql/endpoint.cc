@@ -13,8 +13,10 @@
 
 namespace kgqan::sparql {
 
-Endpoint::Endpoint(std::string name, rdf::Graph graph)
-    : name_(std::move(name)), store_(std::move(graph)) {
+Endpoint::Endpoint(std::string name, rdf::Graph graph,
+                   EndpointOptions options)
+    : name_(std::move(name)),
+      store_(std::move(graph), options.build_threads) {
   text_index_ = std::make_unique<text::TextIndex>(store_);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   metric_requests_ = &registry.GetCounter("endpoint.requests");
@@ -23,6 +25,25 @@ Endpoint::Endpoint(std::string name, rdf::Graph graph)
   metric_cancelled_ = &registry.GetCounter("endpoint.cancelled");
   metric_query_latency_ms_ =
       &registry.GetHistogram("endpoint.query_latency_ms");
+  if (options.intra_query_threads != 1) {
+    set_intra_query_threads(options.intra_query_threads);
+  }
+}
+
+void Endpoint::set_intra_query_threads(size_t n) {
+  if (n == 0) n = util::ThreadPool::DefaultThreads();
+  eval_options_.intra_query_threads = n;
+  if (n > 1) {
+    // The querying thread itself drains morsels (util::ParallelFor), so a
+    // pool of n - 1 workers yields n threads per sharded join step.
+    if (!eval_pool_ || eval_pool_->size() != n - 1) {
+      eval_pool_ = std::make_unique<util::ThreadPool>(n - 1);
+    }
+    eval_options_.eval_pool = eval_pool_.get();
+  } else {
+    eval_options_.eval_pool = nullptr;
+    eval_pool_.reset();
+  }
 }
 
 util::StatusOr<ResultSet> Endpoint::Query(std::string_view sparql) {
@@ -96,6 +117,11 @@ util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
                                                    ? size_t{result->ask_value()}
                                                    : result->NumRows()));
     }
+  } else if (result.status().code() == util::StatusCode::kDeadlineExceeded) {
+    // The evaluator unwound mid-scan on the request deadline: that is a
+    // cancellation (like an abandoned in-flight exchange), not an error.
+    RecordCancelled();
+    span.AddAttribute("error", result.status().message());
   } else {
     metric_errors_->Add(1);
     span.AddAttribute("error", result.status().message());

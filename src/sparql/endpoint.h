@@ -50,14 +50,25 @@
 #include "store/triple_store.h"
 #include "text/text_index.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace kgqan::sparql {
+
+struct EndpointOptions {
+  // Threads one query may use for sharded BGP evaluation (0 = hardware
+  // concurrency, 1 = the exact legacy serial evaluator).  Also settable
+  // later via set_intra_query_threads().
+  size_t intra_query_threads = 1;
+  // Threads used to sort the store's six permutation indexes at build
+  // time (1 = unchanged serial build).
+  size_t build_threads = 1;
+};
 
 class Endpoint {
  public:
   // Builds the store and its default full-text index over `graph` —
   // the standard, unmodified installation of Sec. 7.1.4.
-  Endpoint(std::string name, rdf::Graph graph);
+  Endpoint(std::string name, rdf::Graph graph, EndpointOptions options = {});
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
@@ -117,6 +128,16 @@ class Endpoint {
 
   EvalOptions& mutable_eval_options() { return eval_options_; }
 
+  // Reconfigures intra-query parallelism: n > 1 provisions an evaluation
+  // pool of n - 1 workers (the querying thread participates, see
+  // util::ParallelFor) and shards join steps across it; n == 1 drops the
+  // pool and restores the exact serial path; n == 0 means hardware
+  // concurrency.  Configuration call — do not race against queries.
+  void set_intra_query_threads(size_t n);
+  size_t intra_query_threads() const {
+    return eval_options_.intra_query_threads;
+  }
+
   // Latency injection point (tests / serving benchmark): every query
   // sleeps `ms` before evaluating, as if the endpoint were remote.  Safe
   // to flip concurrently with queries (atomic); 0 disables.
@@ -145,6 +166,9 @@ class Endpoint {
   store::TripleStore store_;
   std::unique_ptr<text::TextIndex> text_index_;
   EvalOptions eval_options_;
+  // Workers for sharded evaluation (eval_options_.eval_pool points here);
+  // null while intra_query_threads <= 1.
+  std::unique_ptr<util::ThreadPool> eval_pool_;
   // Process-wide registry metrics (resolved once; registry entries are
   // never erased, so the pointers stay valid).
   obs::Counter* metric_requests_;

@@ -1,6 +1,8 @@
 #include "sparql/evaluator.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdlib>
 #include <limits>
 #include <regex>
@@ -11,6 +13,9 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/cancel.h"
+#include "util/thread_pool.h"
 
 namespace kgqan::sparql {
 
@@ -266,25 +271,11 @@ class Evaluator {
       const CompiledPattern& cp = patterns[best];
       std::vector<Binding> next;
       if (!cp.dead) {
-        for (const Binding& row : rows) {
-          TermId s = Resolve(cp.s, row);
-          TermId p = Resolve(cp.p, row);
-          TermId o = Resolve(cp.o, row);
-          store_.Match(s, p, o, [&](const rdf::Triple& t) {
-            Binding ext = row;
-            if (CompiledPattern::IsSlot(cp.s)) {
-              ext[CompiledPattern::Slot(cp.s)] = t.s;
-            }
-            if (CompiledPattern::IsSlot(cp.p)) {
-              ext[CompiledPattern::Slot(cp.p)] = t.p;
-            }
-            if (CompiledPattern::IsSlot(cp.o)) {
-              ext[CompiledPattern::Slot(cp.o)] = t.o;
-            }
-            next.push_back(std::move(ext));
-            return next.size() < options_.max_rows;
-          });
-          if (next.size() >= options_.max_rows) break;
+        if (options_.intra_query_threads > 1 &&
+            options_.eval_pool != nullptr) {
+          KGQAN_ASSIGN_OR_RETURN(next, ShardedJoinStep(cp, rows));
+        } else {
+          next = SerialJoinStep(cp, rows);
         }
       }
       rows = std::move(next);
@@ -342,6 +333,192 @@ class Evaluator {
     return rows;
   }
 
+  // ---- Join-step execution (serial and morsel-sharded) ----
+
+  // The legacy serial join step: extend every row by every match of `cp`,
+  // in (row, index) order, capped at max_rows.  This is the
+  // intra_query_threads == 1 path and stays byte-identical to the original
+  // evaluator (no extra allocations, no polling).
+  std::vector<Binding> SerialJoinStep(const CompiledPattern& cp,
+                                      const std::vector<Binding>& rows) {
+    std::vector<Binding> next;
+    for (const Binding& row : rows) {
+      TermId s = Resolve(cp.s, row);
+      TermId p = Resolve(cp.p, row);
+      TermId o = Resolve(cp.o, row);
+      store_.Match(s, p, o, [&](const rdf::Triple& t) {
+        Binding ext = row;
+        if (CompiledPattern::IsSlot(cp.s)) {
+          ext[CompiledPattern::Slot(cp.s)] = t.s;
+        }
+        if (CompiledPattern::IsSlot(cp.p)) {
+          ext[CompiledPattern::Slot(cp.p)] = t.p;
+        }
+        if (CompiledPattern::IsSlot(cp.o)) {
+          ext[CompiledPattern::Slot(cp.o)] = t.o;
+        }
+        next.push_back(std::move(ext));
+        return next.size() < options_.max_rows;
+      });
+      if (next.size() >= options_.max_rows) break;
+    }
+    return next;
+  }
+
+  // One morsel of a sharded join step: a contiguous run of input rows and,
+  // in single-row (range-slice) mode, a slice of that row's scan range.
+  struct Morsel {
+    size_t row_begin = 0;
+    size_t row_end = 0;  // Exclusive.
+    store::ScanRange range;
+    TermId s = kNullTermId;
+    TermId p = kNullTermId;
+    TermId o = kNullTermId;
+    bool has_range = false;  // True in range-slice mode.
+  };
+
+  // Morsel-driven parallel join step.  Produces exactly SerialJoinStep's
+  // rows in exactly its order: the morsels partition the serial (row,
+  // index) iteration space contiguously and are merged back in morsel
+  // order, and a morsel's local max_rows cap can only drop rows the
+  // global cap would have dropped anyway (a morsel's share of the serial
+  // first-max_rows prefix is never more than max_rows rows).
+  StatusOr<std::vector<Binding>> ShardedJoinStep(
+      const CompiledPattern& cp, const std::vector<Binding>& rows) {
+    const size_t threads = options_.intra_query_threads;
+    const size_t target_morsels = threads * 4;
+    std::vector<Morsel> morsels;
+    if (rows.size() > std::max<size_t>(64, threads * 8)) {
+      // Many input rows: chunk the row list itself; each chunk re-uses the
+      // serial per-row locate + scan.
+      size_t k = std::min(rows.size(), target_morsels);
+      for (size_t i = 0; i < k; ++i) {
+        Morsel m;
+        m.row_begin = rows.size() * i / k;
+        m.row_end = rows.size() * (i + 1) / k;
+        if (m.row_end > m.row_begin) morsels.push_back(m);
+      }
+    } else {
+      // Few rows (typically the first pattern's single seed row): slice
+      // each row's located index range.
+      size_t total = 0;
+      std::vector<store::ScanRange> ranges;
+      std::vector<std::array<TermId, 3>> resolved;
+      ranges.reserve(rows.size());
+      resolved.reserve(rows.size());
+      for (const Binding& row : rows) {
+        TermId s = Resolve(cp.s, row);
+        TermId p = Resolve(cp.p, row);
+        TermId o = Resolve(cp.o, row);
+        ranges.push_back(store_.Locate(s, p, o));
+        resolved.push_back({s, p, o});
+        total += ranges.back().size();
+      }
+      if (total < options_.min_shard_work) return SerialJoinStep(cp, rows);
+      size_t slice = std::max<size_t>(
+          {size_t{1}, options_.min_morsel_triples, total / target_morsels});
+      for (size_t r = 0; r < rows.size(); ++r) {
+        size_t parts = (ranges[r].size() + slice - 1) / slice;
+        for (const store::ScanRange& part :
+             store::TripleStore::Partition(ranges[r], parts)) {
+          Morsel m;
+          m.row_begin = r;
+          m.row_end = r + 1;
+          m.range = part;
+          m.s = resolved[r][0];
+          m.p = resolved[r][1];
+          m.o = resolved[r][2];
+          m.has_range = true;
+          morsels.push_back(m);
+        }
+      }
+    }
+    if (morsels.size() <= 1) return SerialJoinStep(cp, rows);
+
+    obs::ScopedSpan span("sparql.eval.sharded_step");
+    std::vector<std::vector<Binding>> outs(morsels.size());
+    std::atomic<bool> cancelled{false};
+    util::ParallelFor(options_.eval_pool, morsels.size(), [&](size_t m) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      const Morsel& morsel = morsels[m];
+      std::vector<Binding>& out = outs[m];
+      size_t visited = 0;
+      for (size_t r = morsel.row_begin; r < morsel.row_end; ++r) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        const Binding& row = rows[r];
+        TermId s, p, o;
+        store::ScanRange range;
+        if (morsel.has_range) {
+          s = morsel.s;
+          p = morsel.p;
+          o = morsel.o;
+          range = morsel.range;
+        } else {
+          s = Resolve(cp.s, row);
+          p = Resolve(cp.p, row);
+          o = Resolve(cp.o, row);
+          range = store_.Locate(s, p, o);
+        }
+        store_.MatchRange(range, s, p, o, [&](const rdf::Triple& t) {
+          // Deadline poll: cheap enough every 256 triples that serving
+          // deadlines bite mid-scan, not only between patterns.
+          if ((++visited & 255u) == 0 && util::Cancelled()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          Binding ext = row;
+          if (CompiledPattern::IsSlot(cp.s)) {
+            ext[CompiledPattern::Slot(cp.s)] = t.s;
+          }
+          if (CompiledPattern::IsSlot(cp.p)) {
+            ext[CompiledPattern::Slot(cp.p)] = t.p;
+          }
+          if (CompiledPattern::IsSlot(cp.o)) {
+            ext[CompiledPattern::Slot(cp.o)] = t.o;
+          }
+          out.push_back(std::move(ext));
+          return out.size() < options_.max_rows;
+        });
+        if (out.size() >= options_.max_rows) break;
+      }
+    });
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("evaluation cancelled mid-scan");
+    }
+
+    // Ordered merge: morsel order is serial order; truncate at the global
+    // cap exactly where the serial loop would have stopped.
+    size_t total_rows = 0;
+    for (const std::vector<Binding>& out : outs) total_rows += out.size();
+    std::vector<Binding> next;
+    next.reserve(std::min(total_rows, options_.max_rows));
+    for (std::vector<Binding>& out : outs) {
+      for (Binding& b : out) {
+        next.push_back(std::move(b));
+        if (next.size() >= options_.max_rows) break;
+      }
+      if (next.size() >= options_.max_rows) break;
+    }
+    ++sharded_steps_;
+    morsel_count_ += morsels.size();
+    if (span.recording()) {
+      span.AddAttribute("morsels", std::to_string(morsels.size()));
+      span.AddAttribute("rows_in", std::to_string(rows.size()));
+      span.AddAttribute("rows_out", std::to_string(next.size()));
+    }
+    static obs::Histogram& step_ms = obs::MetricsRegistry::Global().GetHistogram(
+        "sparql.eval.sharded_step_ms");
+    step_ms.Record(span.ElapsedMillis());
+    return next;
+  }
+
+ public:
+  // Number of join steps that actually ran sharded / total morsels they
+  // spawned (for the sparql.eval.* registry metrics; 0 on the serial path).
+  size_t sharded_steps() const { return sharded_steps_; }
+  size_t morsels() const { return morsel_count_; }
+
+ private:
   // ---- FILTER expression evaluation ----
 
   // Three-valued-lite: comparisons involving unbound vars are false.
@@ -690,6 +867,8 @@ class Evaluator {
   // (their ids live above dictionary().MaxId(); see InternValue/TermOf).
   std::vector<Term> overlay_terms_;
   std::unordered_map<std::string, TermId> overlay_ids_;
+  size_t sharded_steps_ = 0;
+  size_t morsel_count_ = 0;
 };
 
 }  // namespace
@@ -711,6 +890,23 @@ StatusOr<ResultSet> Evaluate(const Query& query,
   StatusOr<ResultSet> result = evaluator.Run(query);
   if (result.ok() && !result->is_ask()) {
     result_rows.Record(double(result->NumRows()));
+  }
+  if (evaluator.sharded_steps() > 0) {
+    // Sharded-path-only instrumentation: the serial path must not touch
+    // the registry beyond the pre-existing counters above.
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& sharded_queries =
+        registry.GetCounter("sparql.eval.sharded_queries");
+    static obs::Counter& sharded_steps =
+        registry.GetCounter("sparql.eval.sharded_steps");
+    static obs::Counter& morsels = registry.GetCounter("sparql.eval.morsels");
+    sharded_queries.Add(1);
+    sharded_steps.Add(evaluator.sharded_steps());
+    morsels.Add(evaluator.morsels());
+    if (obs::Trace* trace = obs::CurrentTrace()) {
+      trace->AddCounter(obs::TraceCounter::kEvalMorsels,
+                        evaluator.morsels());
+    }
   }
   return result;
 }

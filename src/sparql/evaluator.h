@@ -17,6 +17,10 @@
 #include "text/text_index.h"
 #include "util/status.h"
 
+namespace kgqan::util {
+class ThreadPool;
+}  // namespace kgqan::util
+
 namespace kgqan::sparql {
 
 struct EvalOptions {
@@ -25,6 +29,21 @@ struct EvalOptions {
   size_t max_rows = 100000;
   // Cap on candidates pulled from the text index per bif:contains pattern.
   size_t text_candidate_limit = 4096;
+  // Intra-query parallelism: > 1 (with a non-null eval_pool) shards the
+  // join steps into morsels executed on the pool.  The sharded path is
+  // result-identical to the serial one (same rows, same order); 1 keeps
+  // the exact legacy serial code path with zero extra allocations.
+  size_t intra_query_threads = 1;
+  // Pool the morsels run on; the calling thread always participates, so
+  // evaluation never blocks on a saturated pool (see util::ParallelFor).
+  // Not owned.  Ignored when intra_query_threads <= 1.
+  util::ThreadPool* eval_pool = nullptr;
+  // A join step only shards when its total located scan width is at least
+  // this many triples (below it, fan-out overhead dominates), and each
+  // morsel covers at least min_morsel_triples.  Tests lower both to force
+  // sharding on tiny graphs.
+  size_t min_shard_work = 4096;
+  size_t min_morsel_triples = 1024;
 };
 
 // Evaluates `query` against `store` / `text_index`.

@@ -4,6 +4,8 @@
 #include <iterator>
 #include <tuple>
 
+#include "util/thread_pool.h"
+
 namespace kgqan::store {
 
 namespace {
@@ -36,16 +38,25 @@ struct PermLess {
 
 }  // namespace
 
-TripleStore::TripleStore(rdf::Graph graph) : graph_(std::move(graph)) {
+TripleStore::TripleStore(rdf::Graph graph, size_t build_threads)
+    : graph_(std::move(graph)) {
   std::vector<Triple> base(graph_.triples().begin(), graph_.triples().end());
   std::sort(base.begin(), base.end());
   base.erase(std::unique(base.begin(), base.end()), base.end());
-  for (size_t i = 0; i < 6; ++i) {
-    indexes_[i] = base;
-    Perm perm = static_cast<Perm>(i);
-    if (perm != Perm::kSpo) {
-      std::sort(indexes_[i].begin(), indexes_[i].end(), PermLess{perm});
-    }
+  indexes_[0] = std::move(base);  // SPO is the canonical sort order.
+  auto build_one = [this](size_t i) {
+    indexes_[i] = indexes_[0];
+    std::sort(indexes_[i].begin(), indexes_[i].end(),
+              PermLess{static_cast<Perm>(i)});
+  };
+  if (build_threads > 1) {
+    // The five non-canonical permutation sorts are independent: copy and
+    // sort each on a transient pool (at most five tasks; the constructing
+    // thread participates via ParallelFor).
+    util::ThreadPool pool(std::min<size_t>(build_threads, 5) - 1);
+    util::ParallelFor(&pool, 5, [&](size_t i) { build_one(i + 1); });
+  } else {
+    for (size_t i = 1; i < 6; ++i) build_one(i);
   }
 }
 
@@ -95,7 +106,7 @@ size_t TripleStore::Erase(TermId s, TermId p, TermId o) {
   return victims.size();
 }
 
-TripleStore::Range TripleStore::Locate(TermId s, TermId p, TermId o) const {
+ScanRange TripleStore::Locate(TermId s, TermId p, TermId o) const {
   const bool bs = s != kNullTermId;
   const bool bp = p != kNullTermId;
   const bool bo = o != kNullTermId;
@@ -125,7 +136,7 @@ TripleStore::Range TripleStore::Locate(TermId s, TermId p, TermId o) const {
     perm = Perm::kOsp;
     prefix = 1;
   } else {
-    return Range{Perm::kSpo, 0, indexes_[0].size()};
+    return ScanRange{Perm::kSpo, 0, indexes_[0].size()};
   }
 
   const std::vector<Triple>& idx = indexes_[static_cast<size_t>(perm)];
@@ -146,8 +157,23 @@ TripleStore::Range TripleStore::Locate(TermId s, TermId p, TermId o) const {
   };
   auto lo = std::lower_bound(idx.begin(), idx.end(), probe, cmp);
   auto hi = std::upper_bound(idx.begin(), idx.end(), probe, cmp);
-  return Range{perm, static_cast<size_t>(lo - idx.begin()),
-               static_cast<size_t>(hi - idx.begin())};
+  return ScanRange{perm, static_cast<size_t>(lo - idx.begin()),
+                   static_cast<size_t>(hi - idx.begin())};
+}
+
+std::vector<ScanRange> TripleStore::Partition(const ScanRange& range,
+                                              size_t max_parts) {
+  std::vector<ScanRange> parts;
+  const size_t width = range.size();
+  if (width == 0 || max_parts == 0) return parts;
+  const size_t k = std::min(max_parts, width);
+  parts.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t lo = range.lo + width * i / k;
+    const size_t hi = range.lo + width * (i + 1) / k;
+    if (hi > lo) parts.push_back(ScanRange{range.perm, lo, hi});
+  }
+  return parts;
 }
 
 std::vector<Triple> TripleStore::MatchAll(TermId s, TermId p, TermId o,

@@ -153,6 +153,57 @@ TEST(DeadlineTest, CancelledWaveDoesNotPoisonLinkingCache) {
   EXPECT_EQ(rerun.queries_generated, fresh.queries_generated);
 }
 
+// Deadlines must bite *inside* a sharded scan, not only between patterns:
+// a dense complete digraph makes a variable chain explode combinatorially,
+// so with a couple-of-ms deadline the evaluator's morsel loops observe the
+// expiry mid-scan and return DeadlineExceeded after the exchange was
+// already issued and counted (proving it is not the fail-fast path).
+TEST(DeadlineTest, ShardedEvaluationCancelsMidScan) {
+  rdf::Graph g;
+  constexpr int kN = 60;
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      if (i != j) {
+        g.AddIris("http://x/e" + std::to_string(i), "http://x/p",
+                  "http://x/e" + std::to_string(j));
+      }
+    }
+  }
+  sparql::Endpoint endpoint("dense", std::move(g));
+  endpoint.set_intra_query_threads(2);
+  endpoint.mutable_eval_options().min_shard_work = 0;
+  endpoint.mutable_eval_options().min_morsel_triples = 1;
+
+  // Timing-dependent: the deadline must expire after admission but before
+  // evaluation finishes.  Longer chains take longer, so retry with doubled
+  // work until the cancellation lands mid-evaluation.
+  bool cancelled_mid_scan = false;
+  for (int chain = 3; chain <= 8 && !cancelled_mid_scan; ++chain) {
+    std::string query = "SELECT ?v0 WHERE {";
+    for (int i = 0; i < chain; ++i) {
+      query += " ?v" + std::to_string(i) + " <http://x/p> ?v" +
+               std::to_string(i + 1) + " .";
+    }
+    query += " }";
+    for (int attempt = 0; attempt < 4 && !cancelled_mid_scan; ++attempt) {
+      size_t count_before = endpoint.query_count();
+      util::CancelToken token = util::CancelToken::WithDeadlineMillis(2.0);
+      util::ScopedCancelToken bind(token);
+      auto result = endpoint.Query(query);
+      if (!result.ok() &&
+          result.status().code() == util::StatusCode::kDeadlineExceeded &&
+          endpoint.query_count() > count_before) {
+        // Counted traffic + DeadlineExceeded = the expiry was observed
+        // inside evaluation, after the exchange was issued.
+        cancelled_mid_scan = true;
+      }
+    }
+  }
+  EXPECT_TRUE(cancelled_mid_scan)
+      << "no run observed the deadline inside the sharded scan";
+  EXPECT_GT(endpoint.cancelled_count(), 0u);
+}
+
 // The injection point itself: an expired token makes the endpoint fail
 // fast without counting traffic, and abandon an in-flight injected sleep.
 TEST(DeadlineTest, EndpointFailsFastWhenTokenExpired) {

@@ -1,0 +1,151 @@
+// Concurrency battery for intra-query sharding (run under TSan in CI):
+// many client threads query one endpoint whose evaluator shards join
+// steps onto a shared pool, so morsel tasks from different queries
+// interleave on the same workers.  Every concurrent result must equal the
+// serial reference, and a QaServer whose engine config enables
+// intra_query_threads must keep its exact accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "benchgen/kg.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "serve/qa_server.h"
+#include "sparql/endpoint.h"
+#include "sparql/evaluator.h"
+#include "sparql/parser.h"
+#include "sparql/result_set.h"
+#include "util/status.h"
+
+namespace kgqan::sparql {
+namespace {
+
+bool SameResults(const ResultSet& a, const ResultSet& b) {
+  return a.is_ask() == b.is_ask() && a.ask_value() == b.ask_value() &&
+         a.columns() == b.columns() && a.rows() == b.rows();
+}
+
+// Queries with wide scans (so sharding engages) and distinct shapes (so
+// cross-wired results would be detected).
+std::vector<std::string> ShardHappyQueries() {
+  return {
+      "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 50",
+      "SELECT DISTINCT ?p WHERE { ?s ?p ?o }",
+      "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }",
+      "SELECT ?a ?b WHERE { ?a ?p ?b . ?b ?q ?c } LIMIT 25",
+      "ASK { ?s ?p ?o }",
+  };
+}
+
+TEST(ShardingConcurrencyTest, ConcurrentShardedQueriesMatchSerialReference) {
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 1234);
+  Endpoint ep("shard-conc", std::move(kg.graph));
+  // Configuration phase (before any query): three-way sharding with the
+  // thresholds lowered so the small test KG still shards.
+  ep.set_intra_query_threads(3);
+  ep.mutable_eval_options().min_shard_work = 0;
+  ep.mutable_eval_options().min_morsel_triples = 1;
+
+  const std::vector<std::string> queries = ShardHappyQueries();
+  // Serial reference results computed via the evaluator directly (the
+  // endpoint itself stays in sharded mode throughout).
+  std::vector<ResultSet> reference;
+  for (const std::string& q : queries) {
+    auto parsed = ParseQuery(q);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    auto rs = Evaluate(*parsed, ep.store(), ep.text_index(), EvalOptions{});
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    reference.push_back(std::move(*rs));
+  }
+
+  constexpr size_t kClients = 6;
+  constexpr size_t kPerClient = 20;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        size_t which = (c + i) % queries.size();
+        auto rs = ep.Query(queries[which]);
+        if (!rs.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (!SameResults(reference[which], *rs)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(ep.query_count(), kClients * kPerClient);
+}
+
+TEST(ShardingConcurrencyTest, QaServerWorkersComposeWithIntraQuerySharding) {
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 99);
+  Endpoint ep("shard-serve", std::move(kg.graph));
+
+  core::KgqanConfig cfg;
+  cfg.num_threads = 2;
+  cfg.intra_query_threads = 3;  // QaServer applies this to the endpoint.
+  cfg.qu.inference.enabled = false;
+  core::KgqanEngine engine(cfg);
+
+  serve::QaServerOptions options;
+  options.num_workers = 3;
+  options.queue_capacity = 32;
+  serve::QaServer server(&engine, &ep, options);
+  // The constructor wired Config::intra_query_threads through.
+  EXPECT_EQ(ep.intra_query_threads(), 3u);
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 8;
+  std::atomic<size_t> admitted{0};
+  std::atomic<size_t> resolved{0};
+  std::atomic<size_t> echo_mismatches{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::pair<std::string, std::future<serve::QaServerResponse>>>
+          in_flight;
+      for (size_t i = 0; i < kPerClient; ++i) {
+        std::string question =
+            "Who is related to entity " + std::to_string(c * 100 + i) + "?";
+        auto future = server.Submit(question);
+        if (future.ok()) {
+          admitted.fetch_add(1);
+          in_flight.emplace_back(std::move(question), std::move(*future));
+        }
+      }
+      for (auto& [question, future] : in_flight) {
+        serve::QaServerResponse response = future.get();
+        resolved.fetch_add(1);
+        if (response.question != question) echo_mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.Shutdown();
+
+  EXPECT_EQ(echo_mismatches.load(), 0u);
+  EXPECT_EQ(resolved.load(), admitted.load());
+  serve::QaServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, admitted.load());
+  EXPECT_EQ(stats.completed, admitted.load());
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace kgqan::sparql
