@@ -1,0 +1,245 @@
+// Answer-cache throughput under a Zipf-skewed question workload: drives
+// serve::QaServer over LC-QuAD with the cross-question answer cache off
+// and on, at increasing concurrency, and reports throughput / tail
+// latency / hit rate.  A production question stream is heavily repeated
+// and paraphrased, which a Zipf(s) draw over the question set models: the
+// hot questions hit the cache and skip candidate SPARQL execution, so
+// with an injected endpoint RTT the closed-loop throughput knee moves up.
+//
+// Usage: bench_caching [scale] [--latency-ms=3] [--mult=6] [--zipf-s=1.1]
+//                      [--json=out.json]
+//
+// --json writes a machine-readable summary (per-run throughput and the
+// serve.answer_cache.* counters from the metrics registry) consumed by
+// the CI bench-smoke gate, which asserts a sane nonzero hit rate at tiny
+// scale.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/answer_cache.h"
+#include "obs/metrics.h"
+#include "serve/qa_server.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using kgqan::core::AnswerCache;
+using kgqan::core::AnswerCacheStats;
+using kgqan::serve::QaServer;
+using kgqan::serve::QaServerOptions;
+using kgqan::serve::QaServerStats;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+// Zipf(s) over ranks 0..n-1 via an inverse-CDF table: rank r is drawn
+// with probability proportional to 1/(r+1)^s, deterministic in the seed.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s, uint64_t seed) : rng_(seed) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(double(r + 1), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Next() {
+    double u = rng_.UniformDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  kgqan::util::Rng rng_;
+  std::vector<double> cdf_;
+};
+
+struct RunResult {
+  double wall_s = 0.0;
+  size_t completed = 0;
+  std::vector<double> latencies_ms;
+  QaServerStats stats;
+};
+
+// Closed loop: `clients` threads each re-submit the moment their previous
+// question answers, interleaving through the shared Zipf stream.
+RunResult RunClosedLoop(const kgqan::core::KgqanEngine& engine,
+                        kgqan::sparql::Endpoint& endpoint,
+                        const std::vector<std::string>& stream,
+                        size_t workers) {
+  size_t clients = 2 * workers;
+  QaServerOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 2 * clients;
+  QaServer server(&engine, &endpoint, options);
+
+  std::vector<std::vector<double>> per_client(clients);
+  std::vector<std::thread> threads;
+  kgqan::util::Stopwatch wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t i = c; i < stream.size(); i += clients) {
+        auto response = server.Ask(stream[i]);
+        if (response.ok()) per_client[c].push_back(response->total_ms);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  RunResult result;
+  result.wall_s = wall.ElapsedMillis() / 1000.0;
+  server.Shutdown();
+  result.stats = server.stats();
+  result.completed = result.stats.completed;
+  for (const auto& latencies : per_client) {
+    result.latencies_ms.insert(result.latencies_ms.end(), latencies.begin(),
+                               latencies.end());
+  }
+  return result;
+}
+
+double Qps(const RunResult& r) {
+  return r.wall_s > 0.0 ? static_cast<double>(r.completed) / r.wall_s : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgqan;
+  double scale = bench::ParseScale(argc, argv);
+  std::string latency_flag = bench::ParseFlag(argc, argv, "latency-ms");
+  double latency_ms = latency_flag.empty() ? 3.0 : std::stod(latency_flag);
+  std::string mult_flag = bench::ParseFlag(argc, argv, "mult");
+  size_t mult = mult_flag.empty() ? 6 : std::stoul(mult_flag);
+  std::string zipf_flag = bench::ParseFlag(argc, argv, "zipf-s");
+  double zipf_s = zipf_flag.empty() ? 1.1 : std::stod(zipf_flag);
+  std::string json_path = bench::ParseFlag(argc, argv, "json");
+
+  benchgen::Benchmark bench =
+      bench::BuildAnnounced(benchgen::BenchmarkId::kLcQuad, scale);
+  bench.endpoint->set_injected_latency_ms(latency_ms);
+
+  std::vector<std::string> unique_questions;
+  for (const auto& q : bench.questions) unique_questions.push_back(q.text);
+  ZipfSampler sampler(unique_questions.size(), zipf_s, 0xCAC4Eu);
+  std::vector<std::string> stream;
+  stream.reserve(mult * unique_questions.size());
+  for (size_t i = 0; i < mult * unique_questions.size(); ++i) {
+    stream.push_back(unique_questions[sampler.Next()]);
+  }
+
+  core::KgqanConfig off_cfg = bench::DefaultEngineConfig();
+  off_cfg.qu.inference.enabled = false;  // Keep the bench endpoint-bound.
+  off_cfg.num_threads = 1;  // Concurrency comes from server workers.
+  core::KgqanConfig on_cfg = off_cfg;
+  on_cfg.answer_cache = true;
+  on_cfg.answer_cache_capacity = 4096;
+
+  std::printf("Answer caching under Zipf(%.2f) — LC-QuAD, %zu unique "
+              "questions, %zu requests, %.1f ms injected endpoint RTT\n",
+              zipf_s, unique_questions.size(), stream.size(), latency_ms);
+  bench::PrintRule(86);
+  std::printf("%-9s %7s %9s %8s %9s %9s %9s %7s\n", "Cache", "Workers",
+              "qps", "done", "p50 ms", "p95 ms", "p99 ms", "hit %");
+  bench::PrintRule(86);
+
+  struct Row {
+    const char* cache;
+    size_t workers;
+    double qps, p50, p95, p99, hit_rate;
+  };
+  std::vector<Row> rows;
+  AnswerCacheStats final_cache_stats;
+  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
+  for (const char* mode : {"off", "on"}) {
+    bool cached = std::string(mode) == "on";
+    for (size_t workers : worker_counts) {
+      // A fresh engine (and cache) per run: every row starts cold, so the
+      // on/off comparison at each concurrency level is self-contained.
+      core::KgqanEngine engine(cached ? on_cfg : off_cfg);
+      RunResult r = RunClosedLoop(engine, *bench.endpoint, stream, workers);
+      double hit_rate = 0.0;
+      if (cached && engine.answer_cache() != nullptr) {
+        final_cache_stats = engine.answer_cache()->stats();
+        hit_rate = final_cache_stats.HitRate();
+      }
+      rows.push_back({mode, workers, Qps(r), Percentile(r.latencies_ms, 50),
+                      Percentile(r.latencies_ms, 95),
+                      Percentile(r.latencies_ms, 99), hit_rate});
+      std::printf("%-9s %7zu %9.1f %8zu %9.2f %9.2f %9.2f %6.1f%%\n", mode,
+                  workers, rows.back().qps, r.completed, rows.back().p50,
+                  rows.back().p95, rows.back().p99, 100.0 * hit_rate);
+    }
+  }
+  bench::PrintRule(86);
+  double best_off = 0.0, best_on = 0.0;
+  for (const Row& row : rows) {
+    if (std::string(row.cache) == "off") best_off = std::max(best_off, row.qps);
+    else best_on = std::max(best_on, row.qps);
+  }
+  std::printf("peak closed-loop throughput: off %.1f qps, on %.1f qps "
+              "(%.2fx)\n",
+              best_off, best_on, best_off > 0.0 ? best_on / best_off : 0.0);
+
+  if (!json_path.empty()) {
+    // The registry counters are cumulative over every run above; the
+    // bench-smoke gate checks presence + well-formedness, and uses the
+    // per-run hit_rate for the nonzero assertion.
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"bench_caching\",\n");
+    std::fprintf(out, "  \"scale\": %g,\n  \"zipf_s\": %g,\n", scale, zipf_s);
+    std::fprintf(out, "  \"unique_questions\": %zu,\n  \"requests\": %zu,\n",
+                 unique_questions.size(), stream.size());
+    std::fprintf(out, "  \"runs\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(out,
+                   "    {\"cache\": \"%s\", \"workers\": %zu, "
+                   "\"throughput_qps\": %.3f, \"p50_ms\": %.3f, "
+                   "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                   "\"hit_rate\": %.4f}%s\n",
+                   row.cache, row.workers, row.qps, row.p50, row.p95,
+                   row.p99, row.hit_rate, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"peak_qps_off\": %.3f,\n  \"peak_qps_on\": %.3f,\n",
+                 best_off, best_on);
+    std::fprintf(out, "  \"metrics\": {\n");
+    const char* names[] = {
+        "serve.answer_cache.hits", "serve.answer_cache.misses",
+        "serve.answer_cache.evictions", "serve.answer_cache.insertions"};
+    for (size_t i = 0; i < 4; ++i) {
+      std::fprintf(out, "    \"%s\": %llu%s\n", names[i],
+                   static_cast<unsigned long long>(
+                       registry.GetCounter(names[i]).Value()),
+                   i + 1 < 4 ? "," : "");
+    }
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "core/answer_cache.h"
+
+#include <functional>
+
+namespace kgqan::core {
+
+AnswerCache::AnswerCache(size_t capacity, size_t shards)
+    : num_shards_(shards > 0 ? shards : 1),
+      per_shard_capacity_(capacity / num_shards_ > 0 ? capacity / num_shards_
+                                                     : 1),
+      shards_(std::make_unique<Shard[]>(num_shards_)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  metric_hits_ = &registry.GetCounter("serve.answer_cache.hits");
+  metric_misses_ = &registry.GetCounter("serve.answer_cache.misses");
+  metric_evictions_ = &registry.GetCounter("serve.answer_cache.evictions");
+  metric_insertions_ = &registry.GetCounter("serve.answer_cache.insertions");
+}
+
+std::string AnswerCache::MakeKey(std::string_view canonical_key,
+                                 std::string_view kg) {
+  std::string key;
+  key.reserve(canonical_key.size() + kg.size() + 1);
+  key.append(kg);
+  key.push_back('\x1f');
+  key.append(canonical_key);
+  return key;
+}
+
+AnswerCache::Shard& AnswerCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % num_shards_];
+}
+
+void AnswerCache::RecordLookup(bool hit) const {
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    metric_hits_->Add(1);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metric_misses_->Add(1);
+  }
+}
+
+std::shared_ptr<const sparql::ResultSet> AnswerCache::Get(
+    std::string_view canonical_key, std::string_view kg) const {
+  std::string key = MakeKey(canonical_key, kg);
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const sparql::ResultSet> result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      result = it->second->second;
+    }
+  }
+  RecordLookup(result != nullptr);
+  return result;
+}
+
+void AnswerCache::Put(std::string_view canonical_key, std::string_view kg,
+                      std::shared_ptr<const sparql::ResultSet> result) {
+  if (result == nullptr) return;
+  std::string key = MakeKey(canonical_key, kg);
+  Shard& shard = ShardFor(key);
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(result);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+    } else {
+      shard.order.emplace_front(key, std::move(result));
+      shard.index.emplace(std::move(key), shard.order.begin());
+      if (shard.order.size() > per_shard_capacity_) {
+        shard.index.erase(shard.order.back().first);
+        shard.order.pop_back();
+        evicted = 1;
+      }
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  metric_insertions_->Add(1);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    metric_evictions_->Add(evicted);
+  }
+}
+
+AnswerCacheStats AnswerCache::stats() const {
+  AnswerCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    stats.entries += shards_[s].order.size();
+  }
+  return stats;
+}
+
+void AnswerCache::Clear() {
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].order.clear();
+    shards_[s].index.clear();
+  }
+}
+
+}  // namespace kgqan::core

@@ -1,0 +1,121 @@
+// Cross-question answer cache: a sharded LRU mapping
+// (canonical candidate-query AST, endpoint generation) -> ResultSet.
+//
+// KGQAn's JIT design re-executes every candidate SPARQL query against the
+// endpoint, yet a large user population asks many repeated and paraphrased
+// questions whose candidates are identical after variable renaming and
+// triple reordering.  This cache sits under KgqanEngine (and thereby under
+// every QaServer worker sharing the engine) so such candidates skip SPARQL
+// execution entirely.
+//
+// Keys are produced by sparql::Canonicalize — a canonical serialization
+// that is invariant under variable renaming and commutative reordering but
+// distinguishes every answer-changing modifier (DISTINCT, LIMIT, ORDER BY,
+// FILTER, projection order) — combined with the endpoint's cache identity
+// (name + atomic update generation, the same discipline as the linking
+// cache): a live AddNTriples bumps the generation, so stale entries simply
+// stop matching.  Values are stored under canonical column names; the
+// engine translates a hit back to its own projection names positionally.
+//
+// Writers must uphold two disciplines the engine enforces:
+//  * Results observed under an expired cancellation token, or whose
+//    endpoint generation moved between issue and completion, are never
+//    inserted (a poisoned partial entry would outlive its request).
+//  * Values are immutable once inserted (shared_ptr<const ResultSet>), so
+//    concurrent readers never copy under the shard lock.
+//
+// Hit/miss/eviction/insertion counters are mirrored into the process-wide
+// metrics registry as serve.answer_cache.* for the serving dashboards and
+// the bench_caching smoke gate.
+
+#ifndef KGQAN_CORE_ANSWER_CACHE_H_
+#define KGQAN_CORE_ANSWER_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sparql/result_set.h"
+
+namespace kgqan::core {
+
+struct AnswerCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t insertions = 0;
+  size_t entries = 0;
+
+  double HitRate() const {
+    size_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+};
+
+class AnswerCache {
+ public:
+  // `capacity` is the total entry budget, split evenly across `shards`
+  // (each shard keeps at least one entry).
+  explicit AnswerCache(size_t capacity, size_t shards = 8);
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  // Returns the cached result for (canonical key, KG identity), or null.
+  // The result is shared and immutable; a hit refreshes LRU recency.
+  std::shared_ptr<const sparql::ResultSet> Get(std::string_view canonical_key,
+                                               std::string_view kg) const;
+
+  // Inserts (or refreshes) an entry.  `result` must be the complete result
+  // of a successfully executed query whose endpoint generation still
+  // matches `kg` — the engine checks both before calling.
+  void Put(std::string_view canonical_key, std::string_view kg,
+           std::shared_ptr<const sparql::ResultSet> result);
+
+  AnswerCacheStats stats() const;
+  void Clear();
+
+  size_t shard_count() const { return num_shards_; }
+
+ private:
+  using Entry =
+      std::pair<std::string, std::shared_ptr<const sparql::ResultSet>>;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recently used.
+    std::list<Entry> order;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  static std::string MakeKey(std::string_view canonical_key,
+                             std::string_view kg);
+  Shard& ShardFor(const std::string& key) const;
+
+  void RecordLookup(bool hit) const;
+
+  size_t num_shards_;
+  size_t per_shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+  std::atomic<size_t> evictions_{0};
+  std::atomic<size_t> insertions_{0};
+  // Registry mirrors (shared by every cache in the process).
+  obs::Counter* metric_hits_;
+  obs::Counter* metric_misses_;
+  obs::Counter* metric_evictions_;
+  obs::Counter* metric_insertions_;
+};
+
+}  // namespace kgqan::core
+
+#endif  // KGQAN_CORE_ANSWER_CACHE_H_

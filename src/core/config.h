@@ -72,6 +72,25 @@ struct KgqanConfig {
   // round-trips of Sec. 5 entirely.  0 disables caching.
   size_t linking_cache_capacity = 4096;
 
+  // Cross-question answer cache (not a paper parameter): memoizes
+  // candidate-query results under (canonical AST, endpoint generation)
+  // keys, so repeated and paraphrased questions — whose candidates are
+  // identical after variable renaming and triple reordering — skip SPARQL
+  // execution entirely.  Off (default) preserves the exact uncached
+  // execution path; on, answers are byte-identical (the rotating-seed
+  // property test's bar) but endpoint traffic shrinks with stream
+  // repetition.  Results observed under an expired deadline or across an
+  // endpoint update are never inserted.
+  bool answer_cache = false;
+
+  // Total entry budget of the answer cache, split across its shards
+  // (0 disables the cache even when answer_cache is true).
+  size_t answer_cache_capacity = 1024;
+
+  // Lock shards of the answer cache; more shards reduce contention when
+  // many QaServer workers share one engine.
+  size_t answer_cache_shards = 8;
+
   // Batched JIT linking (not a paper parameter): collect the
   // text-containment probes of a node wave and the outgoing/incoming
   // predicate probes of an edge wave into combined UNION/VALUES SELECTs,

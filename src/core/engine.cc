@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "sparql/canonical.h"
+#include "sparql/parser.h"
 #include "util/cancel.h"
 #include "util/string_util.h"
 
@@ -25,6 +27,16 @@ std::unique_ptr<util::ThreadPool> MakePool(size_t num_threads) {
 std::unique_ptr<LinkingCache> MakeCache(size_t capacity) {
   if (capacity == 0) return nullptr;
   return std::make_unique<LinkingCache>(capacity);
+}
+
+std::shared_ptr<AnswerCache> MakeAnswerCache(
+    const KgqanConfig& config, std::shared_ptr<AnswerCache> shared) {
+  if (shared != nullptr) return shared;
+  if (!config.answer_cache || config.answer_cache_capacity == 0) {
+    return nullptr;
+  }
+  return std::make_shared<AnswerCache>(config.answer_cache_capacity,
+                                       config.answer_cache_shards);
 }
 
 // True when the calling thread's request deadline expired (and the config
@@ -99,16 +111,57 @@ std::string Explain(const KgqanResult& result) {
   return out;
 }
 
-KgqanEngine::KgqanEngine(const KgqanConfig& config)
+KgqanEngine::KgqanEngine(const KgqanConfig& config,
+                         std::shared_ptr<AnswerCache> answer_cache)
     : config_(config),
       generator_(config.qu),
       affinity_(std::make_unique<embed::SemanticAffinity>(
           config.affinity_mode)),
       pool_(MakePool(config.num_threads)),
       cache_(MakeCache(config.linking_cache_capacity)),
+      answer_cache_(MakeAnswerCache(config, std::move(answer_cache))),
       linker_(&config_, affinity_.get(), pool_.get(), cache_.get()),
       bgp_generator_(&config_),
       filtration_(&config_, affinity_.get()) {}
+
+util::StatusOr<sparql::ResultSet> KgqanEngine::ExecuteCandidateQuery(
+    const std::string& sparql_text, sparql::Endpoint& endpoint,
+    bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (answer_cache_ == nullptr) return endpoint.Query(sparql_text);
+
+  // The candidate text was rendered by BgpGenerator, so it always parses;
+  // fall back to plain execution defensively if it ever does not.
+  auto parsed = sparql::ParseQuery(sparql_text);
+  if (!parsed.ok()) return endpoint.Query(sparql_text);
+  sparql::CanonicalForm canon = sparql::Canonicalize(*parsed);
+  if (!canon.cacheable) return endpoint.Query(sparql_text);
+
+  // The generation captured *before* execution keys the entry; if an
+  // endpoint update commits while the query runs, the re-check below fails
+  // and the ambiguous result is discarded instead of cached.
+  const size_t generation = endpoint.generation();
+  const std::string kg = endpoint.cache_identity();
+  if (std::shared_ptr<const sparql::ResultSet> hit =
+          answer_cache_->Get(canon.key, kg)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    if (hit->is_ask() || canon.projection_original.empty()) return *hit;
+    return hit->WithColumns(canon.projection_original);
+  }
+
+  auto rs = endpoint.Query(sparql_text);
+  if (rs.ok() && !Expired(config_) && endpoint.generation() == generation) {
+    // Stored under canonical column names so a hit from a renamed-but-
+    // equivalent candidate of another question translates positionally.
+    answer_cache_->Put(
+        canon.key, kg,
+        std::make_shared<const sparql::ResultSet>(
+            rs->is_ask() || canon.projection_canonical.empty()
+                ? *rs
+                : rs->WithColumns(canon.projection_canonical)));
+  }
+  return rs;
+}
 
 RuntimeCounters KgqanEngine::Counters() const {
   RuntimeCounters counters;
@@ -116,6 +169,11 @@ RuntimeCounters KgqanEngine::Counters() const {
     LinkingCacheStats stats = cache_->stats();
     counters.linking_cache_hits = stats.hits;
     counters.linking_cache_misses = stats.misses;
+  }
+  if (answer_cache_ != nullptr) {
+    AnswerCacheStats stats = answer_cache_->stats();
+    counters.answer_cache_hits = stats.hits;
+    counters.answer_cache_misses = stats.misses;
   }
   return counters;
 }
@@ -136,21 +194,28 @@ std::vector<rdf::Term> KgqanEngine::RunSelectCandidate(
     }
     return answers;
   };
-  auto rs = endpoint.Query(BgpGenerator::ToSelectSparql(bgp, var));
+  bool cache_hit = false;
+  auto rs = ExecuteCandidateQuery(BgpGenerator::ToSelectSparql(bgp, var),
+                                  endpoint, &cache_hit);
+  if (span.recording() && answer_cache_ != nullptr) {
+    span.AddAttribute("answer_cache", cache_hit ? "hit" : "miss");
+  }
   if (!rs.ok() || rs->NumRows() == 0) return finish({});
 
-  // Group rows into (answer, class list) candidates.
+  // Group rows into (answer, class list) candidates.  The grouping is a
+  // pure function of the row *set* — candidates come out in N-Triples
+  // order with sorted, deduplicated class lists — so a cached result from
+  // an equivalent candidate (whose evaluator may emit the same rows in a
+  // different order) yields byte-identical answers.
   auto a_col = rs->ColumnIndex(var);
   auto c_col = rs->ColumnIndex("c");
   if (!a_col.has_value()) return finish({});
   std::map<std::string, CandidateAnswer> grouped;
-  std::vector<std::string> order;
   for (size_t r = 0; r < rs->NumRows(); ++r) {
     const auto& a = rs->At(r, *a_col);
     if (!a.has_value()) continue;
     std::string key = rdf::ToNTriples(*a);
     auto [it, inserted] = grouped.emplace(key, CandidateAnswer{*a, {}});
-    if (inserted) order.push_back(key);
     if (c_col.has_value()) {
       const auto& c = rs->At(r, *c_col);
       if (c.has_value() && c->IsIri()) {
@@ -159,9 +224,13 @@ std::vector<rdf::Term> KgqanEngine::RunSelectCandidate(
     }
   }
   std::vector<CandidateAnswer> candidates;
-  candidates.reserve(order.size());
-  for (const std::string& key : order) {
-    candidates.push_back(grouped.at(key));
+  candidates.reserve(grouped.size());
+  for (auto& [key, candidate] : grouped) {
+    std::sort(candidate.class_iris.begin(), candidate.class_iris.end());
+    candidate.class_iris.erase(std::unique(candidate.class_iris.begin(),
+                                           candidate.class_iris.end()),
+                               candidate.class_iris.end());
+    candidates.push_back(std::move(candidate));
   }
 
   if (!config_.enable_filtration) {
@@ -189,12 +258,17 @@ void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
                                        KgqanResult* result) const {
   // ASK semantics: the question holds if any of the ranked candidate
   // queries holds in the KG.
-  auto run_ask = [&endpoint](const Bgp& bgp, size_t rank,
-                             CandidateQueryStats* stats) {
+  auto run_ask = [this, &endpoint](const Bgp& bgp, size_t rank,
+                                   CandidateQueryStats* stats) {
     obs::ScopedSpan span("execution.candidate");
     if (span.recording()) span.AddAttribute("rank", std::to_string(rank));
     stats->executed = true;
-    auto rs = endpoint.Query(BgpGenerator::ToAskSparql(bgp));
+    bool cache_hit = false;
+    auto rs = ExecuteCandidateQuery(BgpGenerator::ToAskSparql(bgp), endpoint,
+                                    &cache_hit);
+    if (span.recording() && answer_cache_ != nullptr) {
+      span.AddAttribute("answer_cache", cache_hit ? "hit" : "miss");
+    }
     bool held = rs.ok() && rs->is_ask() && rs->ask_value();
     stats->latency_ms = span.ElapsedMillis();
     stats->rows = held ? 1 : 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/agp.h"
+#include "core/answer_cache.h"
 #include "core/bgp.h"
 #include "core/config.h"
 #include "core/filtration.h"
@@ -70,7 +71,15 @@ std::string Explain(const KgqanResult& result);
 class KgqanEngine : public QaSystem {
  public:
   KgqanEngine() : KgqanEngine(KgqanConfig()) {}
-  explicit KgqanEngine(const KgqanConfig& config);
+  explicit KgqanEngine(const KgqanConfig& config)
+      : KgqanEngine(config, nullptr) {}
+
+  // Shares `answer_cache` instead of building a private one — pass the
+  // same cache to every engine behind one QaServer so paraphrased
+  // questions hit regardless of which worker/engine served the original
+  // (null + config.answer_cache => a private cache is built).
+  KgqanEngine(const KgqanConfig& config,
+              std::shared_ptr<AnswerCache> answer_cache);
 
   std::string name() const override { return "KGQAn"; }
 
@@ -123,6 +132,11 @@ class KgqanEngine : public QaSystem {
   // Worker threads actually in use (1 = serial pipeline).
   size_t effective_threads() const { return pool_ ? pool_->size() : 1; }
   const LinkingCache* linking_cache() const { return cache_.get(); }
+  // The cross-question answer cache (null when disabled); shared so
+  // multi-engine deployments can pool it.
+  const std::shared_ptr<AnswerCache>& answer_cache() const {
+    return answer_cache_;
+  }
 
  private:
   // Executes the ranked candidate queries of a non-boolean question and
@@ -146,6 +160,17 @@ class KgqanEngine : public QaSystem {
       const nlp::AnswerTypePrediction& answer_type, sparql::Endpoint& endpoint,
       CandidateQueryStats* stats) const;
 
+  // Executes one candidate query, consulting the answer cache when
+  // enabled: a hit (keyed on the canonical AST and the endpoint's current
+  // generation) skips the endpoint entirely and is translated back to the
+  // candidate's own variable names; a miss executes and inserts — unless
+  // the request's deadline expired or the endpoint generation moved during
+  // execution, which must never populate the cache.  `cache_hit` (nullable)
+  // reports which path was taken.
+  util::StatusOr<sparql::ResultSet> ExecuteCandidateQuery(
+      const std::string& sparql_text, sparql::Endpoint& endpoint,
+      bool* cache_hit) const;
+
   KgqanConfig config_;
   qu::TriplePatternGenerator generator_;
   nlp::AnswerTypeClassifier answer_type_classifier_;
@@ -153,6 +178,7 @@ class KgqanEngine : public QaSystem {
   // Declared before linker_: the linker borrows both raw pointers.
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<LinkingCache> cache_;
+  std::shared_ptr<AnswerCache> answer_cache_;
   JitLinker linker_;
   BgpGenerator bgp_generator_;
   Filtration filtration_;

@@ -1,6 +1,8 @@
 #include "serve/qa_server.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace kgqan::serve {
 
@@ -155,6 +157,20 @@ QaServerStats QaServer::stats() const {
   stats.deadline_exceeded =
       deadline_exceeded_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_.size();
+  // Answer-cache counters: engines may share one cache, so dedup by
+  // pointer before summing.
+  std::vector<const core::AnswerCache*> seen;
+  for (const core::KgqanEngine* engine : engines_) {
+    if (engine == nullptr || engine->answer_cache() == nullptr) continue;
+    const core::AnswerCache* cache = engine->answer_cache().get();
+    if (std::find(seen.begin(), seen.end(), cache) != seen.end()) continue;
+    seen.push_back(cache);
+    core::AnswerCacheStats cache_stats = cache->stats();
+    stats.answer_cache_hits += cache_stats.hits;
+    stats.answer_cache_misses += cache_stats.misses;
+    stats.answer_cache_evictions += cache_stats.evictions;
+    stats.answer_cache_entries += cache_stats.entries;
+  }
   return stats;
 }
 

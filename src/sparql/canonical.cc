@@ -1,0 +1,430 @@
+#include "sparql/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace kgqan::sparql {
+
+namespace {
+
+// Variable name -> colour (refinement rank).  std::map keeps iteration in
+// name order, which makes every pass deterministic.
+using VarRank = std::map<std::string, int>;
+using VarTokens = std::map<std::string, std::vector<std::string>>;
+using RenameMap = std::map<std::string, std::string>;
+
+// ---------------------------------------------------------------------------
+// Variable collection.
+
+void CollectExprVars(const Expr& e, std::set<std::string>* vars) {
+  if (e.op == ExprOp::kVar || e.op == ExprOp::kBound) vars->insert(e.var.name);
+  if (e.lhs != nullptr) CollectExprVars(*e.lhs, vars);
+  if (e.rhs != nullptr) CollectExprVars(*e.rhs, vars);
+}
+
+void CollectGroupVars(const GroupGraphPattern& g, std::set<std::string>* vars) {
+  for (const TriplePattern& t : g.triples) {
+    for (const TermOrVar* tv : {&t.s, &t.p, &t.o}) {
+      if (IsVar(*tv)) vars->insert(AsVar(*tv).name);
+    }
+  }
+  for (const TextPattern& t : g.text_patterns) vars->insert(t.var.name);
+  for (const InlineValues& v : g.values) vars->insert(v.var.name);
+  for (const Expr& f : g.filters) CollectExprVars(f, vars);
+  for (const GroupGraphPattern& opt : g.optionals) CollectGroupVars(opt, vars);
+  for (const auto& block : g.unions) {
+    for (const GroupGraphPattern& branch : block) {
+      CollectGroupVars(branch, vars);
+    }
+  }
+}
+
+std::set<std::string> CollectQueryVars(const Query& q) {
+  std::set<std::string> vars;
+  CollectGroupVars(q.where, &vars);
+  for (const Var& v : q.select_vars) vars.insert(v.name);
+  for (const Aggregate& a : q.aggregates) {
+    vars.insert(a.var.name);
+    vars.insert(a.alias.name);
+  }
+  for (const OrderKey& k : q.order_by) vars.insert(k.var.name);
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// Colour refinement: each variable's signature is the sorted multiset of
+// its occurrence descriptors, where co-occurring variables are rendered by
+// their current colour (not their name).
+
+std::string RankedVar(const std::string& name, const VarRank& rank) {
+  auto it = rank.find(name);
+  return "?" + std::to_string(it == rank.end() ? -1 : it->second);
+}
+
+std::string Slot(const TermOrVar& tv, const VarRank& rank) {
+  return IsVar(tv) ? RankedVar(AsVar(tv).name, rank) : ToSparql(tv);
+}
+
+std::string BlindExpr(const Expr& e, const VarRank& rank) {
+  std::string out = std::to_string(static_cast<int>(e.op));
+  out += '(';
+  if (e.op == ExprOp::kVar || e.op == ExprOp::kBound) {
+    out += RankedVar(e.var.name, rank);
+  } else if (e.op == ExprOp::kConstant) {
+    out += ToSparql(TermOrVar{e.constant});
+  }
+  if (e.lhs != nullptr) out += BlindExpr(*e.lhs, rank);
+  if (e.rhs != nullptr) {
+    out += ',';
+    out += BlindExpr(*e.rhs, rank);
+  }
+  out += ')';
+  return out;
+}
+
+// One token per variable occurrence inside `e`, all carrying the whole
+// filter's blind rendering so the variable's role in the expression shape
+// contributes to its colour.
+void AddExprTokens(const Expr& e, const std::string& blind,
+                   VarTokens* tokens) {
+  if (e.op == ExprOp::kVar || e.op == ExprOp::kBound) {
+    (*tokens)[e.var.name].push_back("f:" + blind);
+  }
+  if (e.lhs != nullptr) AddExprTokens(*e.lhs, blind, tokens);
+  if (e.rhs != nullptr) AddExprTokens(*e.rhs, blind, tokens);
+}
+
+void CollectGroupTokens(const GroupGraphPattern& g, const VarRank& rank,
+                        VarTokens* tokens) {
+  for (const TriplePattern& t : g.triples) {
+    std::string skeleton =
+        Slot(t.s, rank) + " " + Slot(t.p, rank) + " " + Slot(t.o, rank);
+    if (IsVar(t.s)) (*tokens)[AsVar(t.s).name].push_back("t:s:" + skeleton);
+    if (IsVar(t.p)) (*tokens)[AsVar(t.p).name].push_back("t:p:" + skeleton);
+    if (IsVar(t.o)) (*tokens)[AsVar(t.o).name].push_back("t:o:" + skeleton);
+  }
+  for (const TextPattern& t : g.text_patterns) {
+    (*tokens)[t.var.name].push_back("x:" + t.expr);
+  }
+  for (const InlineValues& v : g.values) {
+    std::vector<std::string> rendered;
+    rendered.reserve(v.values.size());
+    for (const rdf::Term& term : v.values) {
+      rendered.push_back(ToSparql(TermOrVar{term}));
+    }
+    std::sort(rendered.begin(), rendered.end());
+    std::string joined = "v:";
+    for (const std::string& r : rendered) {
+      joined += r;
+      joined += '\x1e';
+    }
+    (*tokens)[v.var.name].push_back(std::move(joined));
+  }
+  for (const Expr& f : g.filters) AddExprTokens(f, BlindExpr(f, rank), tokens);
+  for (const GroupGraphPattern& opt : g.optionals) {
+    CollectGroupTokens(opt, rank, tokens);
+  }
+  for (const auto& block : g.unions) {
+    for (const GroupGraphPattern& branch : block) {
+      CollectGroupTokens(branch, rank, tokens);
+    }
+  }
+}
+
+void CollectQueryTokens(const Query& q, const VarRank& rank,
+                        VarTokens* tokens) {
+  CollectGroupTokens(q.where, rank, tokens);
+  // Projection and solution modifiers are positional: the index ties a
+  // variable's colour to its projection slot.
+  for (size_t i = 0; i < q.select_vars.size(); ++i) {
+    (*tokens)[q.select_vars[i].name].push_back("sel:" + std::to_string(i));
+  }
+  for (size_t i = 0; i < q.aggregates.size(); ++i) {
+    const Aggregate& a = q.aggregates[i];
+    std::string desc = std::to_string(i) + ":" +
+                       std::to_string(static_cast<int>(a.op)) +
+                       (a.distinct ? ":d" : "");
+    (*tokens)[a.var.name].push_back("agg:" + desc);
+    (*tokens)[a.alias.name].push_back("aga:" + desc);
+  }
+  for (size_t i = 0; i < q.order_by.size(); ++i) {
+    (*tokens)[q.order_by[i].var.name].push_back(
+        "ord:" + std::to_string(i) + (q.order_by[i].descending ? ":d" : ""));
+  }
+}
+
+// Refines colours to a fixpoint.  `forced` carries individualization
+// colours that keep refined classes apart across rounds.
+VarRank Refine(const Query& q, const std::vector<std::string>& vars,
+               const VarRank& forced) {
+  VarRank rank;
+  for (const std::string& v : vars) rank[v] = 0;
+  for (size_t iter = 0; iter <= vars.size() + 1; ++iter) {
+    VarTokens tokens;
+    for (const std::string& v : vars) tokens[v];  // Ensure empty entries.
+    CollectQueryTokens(q, rank, &tokens);
+    std::map<std::string, std::string> sig;
+    for (const std::string& v : vars) {
+      std::vector<std::string>& t = tokens[v];
+      std::sort(t.begin(), t.end());
+      auto it = forced.find(v);
+      std::string s =
+          std::to_string(it == forced.end() ? -1 : it->second) + "|";
+      for (const std::string& token : t) {
+        s += token;
+        s += '\x1e';
+      }
+      sig[v] = std::move(s);
+    }
+    std::set<std::string> distinct;
+    for (const auto& [v, s] : sig) distinct.insert(s);
+    std::map<std::string, int> sig_rank;
+    int next = 0;
+    for (const std::string& s : distinct) sig_rank[s] = next++;
+    VarRank refined;
+    for (const std::string& v : vars) refined[v] = sig_rank[sig[v]];
+    if (refined == rank) break;
+    rank = std::move(refined);
+  }
+  return rank;
+}
+
+// ---------------------------------------------------------------------------
+// Clone + rename.
+
+Var RenameVar(const Var& v, const RenameMap& m) {
+  auto it = m.find(v.name);
+  return Var{it == m.end() ? v.name : it->second};
+}
+
+TermOrVar RenameTv(const TermOrVar& tv, const RenameMap& m) {
+  if (!IsVar(tv)) return tv;
+  return TermOrVar{RenameVar(AsVar(tv), m)};
+}
+
+Expr CloneExpr(const Expr& e, const RenameMap& m) {
+  Expr out;
+  out.op = e.op;
+  out.var = RenameVar(e.var, m);
+  out.constant = e.constant;
+  if (e.lhs != nullptr) out.lhs = std::make_unique<Expr>(CloneExpr(*e.lhs, m));
+  if (e.rhs != nullptr) out.rhs = std::make_unique<Expr>(CloneExpr(*e.rhs, m));
+  return out;
+}
+
+GroupGraphPattern CloneGroup(const GroupGraphPattern& g, const RenameMap& m) {
+  GroupGraphPattern out;
+  for (const TriplePattern& t : g.triples) {
+    out.triples.push_back(TriplePattern{RenameTv(t.s, m), RenameTv(t.p, m),
+                                        RenameTv(t.o, m)});
+  }
+  for (const TextPattern& t : g.text_patterns) {
+    out.text_patterns.push_back(TextPattern{RenameVar(t.var, m), t.expr});
+  }
+  for (const InlineValues& v : g.values) {
+    out.values.push_back(InlineValues{RenameVar(v.var, m), v.values});
+  }
+  for (const Expr& f : g.filters) out.filters.push_back(CloneExpr(f, m));
+  for (const GroupGraphPattern& opt : g.optionals) {
+    out.optionals.push_back(CloneGroup(opt, m));
+  }
+  for (const auto& block : g.unions) {
+    std::vector<GroupGraphPattern> branches;
+    branches.reserve(block.size());
+    for (const GroupGraphPattern& branch : block) {
+      branches.push_back(CloneGroup(branch, m));
+    }
+    out.unions.push_back(std::move(branches));
+  }
+  return out;
+}
+
+Query CloneQuery(const Query& q, const RenameMap& m) {
+  Query out;
+  out.form = q.form;
+  out.distinct = q.distinct;
+  out.select_all = q.select_all;
+  for (const Var& v : q.select_vars) out.select_vars.push_back(RenameVar(v, m));
+  for (const Aggregate& a : q.aggregates) {
+    Aggregate agg = a;
+    agg.var = RenameVar(a.var, m);
+    agg.alias = RenameVar(a.alias, m);
+    out.aggregates.push_back(agg);
+  }
+  out.where = CloneGroup(q.where, m);
+  for (const OrderKey& k : q.order_by) {
+    out.order_by.push_back(OrderKey{RenameVar(k.var, m), k.descending});
+  }
+  out.limit = q.limit;
+  out.offset = q.offset;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Commutative reordering (applied after renaming, so sort keys compare
+// canonical names).  OPTIONAL sub-groups keep their relative order: nested
+// left joins do not commute when they share variables.
+
+std::string TripleKey(const TriplePattern& t) {
+  return ToSparql(t.s) + " " + ToSparql(t.p) + " " + ToSparql(t.o);
+}
+
+void SortGroup(GroupGraphPattern* g) {
+  std::sort(g->triples.begin(), g->triples.end(),
+            [](const TriplePattern& a, const TriplePattern& b) {
+              return TripleKey(a) < TripleKey(b);
+            });
+  std::sort(g->text_patterns.begin(), g->text_patterns.end(),
+            [](const TextPattern& a, const TextPattern& b) {
+              return std::tie(a.var.name, a.expr) < std::tie(b.var.name,
+                                                             b.expr);
+            });
+  for (InlineValues& v : g->values) {
+    std::sort(v.values.begin(), v.values.end(),
+              [](const rdf::Term& a, const rdf::Term& b) {
+                return ToSparql(TermOrVar{a}) < ToSparql(TermOrVar{b});
+              });
+  }
+  std::sort(g->values.begin(), g->values.end(),
+            [](const InlineValues& a, const InlineValues& b) {
+              auto key = [](const InlineValues& v) {
+                std::string k = v.var.name;
+                for (const rdf::Term& t : v.values) {
+                  k += '\x1e';
+                  k += ToSparql(TermOrVar{t});
+                }
+                return k;
+              };
+              return key(a) < key(b);
+            });
+  std::sort(g->filters.begin(), g->filters.end(),
+            [](const Expr& a, const Expr& b) {
+              return ToSparql(a) < ToSparql(b);
+            });
+  for (GroupGraphPattern& opt : g->optionals) SortGroup(&opt);
+  for (auto& block : g->unions) {
+    for (GroupGraphPattern& branch : block) SortGroup(&branch);
+    std::sort(block.begin(), block.end(),
+              [](const GroupGraphPattern& a, const GroupGraphPattern& b) {
+                return ToSparql(a, 0) < ToSparql(b, 0);
+              });
+  }
+  std::sort(g->unions.begin(), g->unions.end(),
+            [](const std::vector<GroupGraphPattern>& a,
+               const std::vector<GroupGraphPattern>& b) {
+              auto key = [](const std::vector<GroupGraphPattern>& block) {
+                std::string k;
+                for (const GroupGraphPattern& branch : block) {
+                  k += ToSparql(branch, 0);
+                  k += '\x1e';
+                }
+                return k;
+              };
+              return key(a) < key(b);
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Individualization-refinement search for the canonical variable order.
+
+std::string SerializeCanonical(const Query& q,
+                               const std::vector<std::string>& ordered_vars,
+                               bool reorder, RenameMap* rename_out) {
+  RenameMap m;
+  for (size_t i = 0; i < ordered_vars.size(); ++i) {
+    m[ordered_vars[i]] = "v" + std::to_string(i);
+  }
+  Query canon = CloneQuery(q, m);
+  if (reorder) SortGroup(&canon.where);
+  if (rename_out != nullptr) *rename_out = std::move(m);
+  return ToSparql(canon);
+}
+
+// Explores individualizations of refinement ties, keeping the
+// lexicographically smallest serialization.  `budget` caps the number of
+// explored branches; the first branch of every tie is always taken, so a
+// leaf is reached even at budget zero (ties then resolve by name through
+// the stable sort below — sound, possibly non-canonical).
+void Search(const Query& q, const std::vector<std::string>& vars, bool reorder,
+            const VarRank& forced, int next_colour, int* budget,
+            std::string* best, RenameMap* best_map) {
+  VarRank rank = Refine(q, vars, forced);
+  const std::vector<std::string>* tie = nullptr;
+  std::map<int, std::vector<std::string>> classes;
+  for (const std::string& v : vars) classes[rank[v]].push_back(v);
+  for (const auto& [colour, members] : classes) {
+    if (members.size() > 1) {
+      tie = &members;
+      break;
+    }
+  }
+  if (tie == nullptr || *budget <= 0) {
+    std::vector<std::string> ordered = vars;  // Already name-sorted.
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [&](const std::string& a, const std::string& b) {
+                       return rank[a] < rank[b];
+                     });
+    RenameMap m;
+    std::string serialized = SerializeCanonical(q, ordered, reorder, &m);
+    if (best->empty() || serialized < *best) {
+      *best = std::move(serialized);
+      *best_map = std::move(m);
+    }
+    return;
+  }
+  bool first = true;
+  for (const std::string& v : *tie) {
+    if (!first && *budget <= 0) break;
+    first = false;
+    --*budget;
+    VarRank f = forced;
+    f[v] = next_colour;
+    Search(q, vars, reorder, f, next_colour + 1, budget, best, best_map);
+  }
+}
+
+}  // namespace
+
+CanonicalForm Canonicalize(const Query& query) {
+  CanonicalForm form;
+  if (query.form == Query::Form::kSelect && query.select_all) {
+    form.cacheable = false;
+    return form;
+  }
+  std::set<std::string> var_set = CollectQueryVars(query);
+  std::vector<std::string> vars(var_set.begin(), var_set.end());
+  // With LIMIT or OFFSET the retained row window depends on evaluation
+  // order, so only renaming is canonical; element order stays verbatim.
+  bool reorder = query.limit == 0 && query.offset == 0;
+  std::string best;
+  RenameMap best_map;
+  // 512 fully explores every tie for queries of up to ~5 mutually
+  // symmetric variables (5! leaves), so candidate-sized queries always get
+  // a true canonical form; bigger symmetric cores fall back to the sound
+  // name-order tie-break.
+  int budget = 512;
+  Search(query, vars, reorder, VarRank{}, 1, &budget, &best, &best_map);
+  form.key = "canon1\x1f" + best;
+  if (query.form == Query::Form::kSelect) {
+    if (!query.aggregates.empty()) {
+      for (const Aggregate& a : query.aggregates) {
+        form.projection_original.push_back(a.alias.name);
+        form.projection_canonical.push_back(best_map.at(a.alias.name));
+      }
+    } else {
+      for (const Var& v : query.select_vars) {
+        form.projection_original.push_back(v.name);
+        form.projection_canonical.push_back(best_map.at(v.name));
+      }
+    }
+  }
+  return form;
+}
+
+}  // namespace kgqan::sparql

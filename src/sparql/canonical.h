@@ -1,0 +1,65 @@
+// Canonicalization of SPARQL ASTs into cache keys.
+//
+// `Canonicalize` maps a query to a canonical serialization such that two
+// queries differing only by variable names or by the order of commutative
+// WHERE-clause elements (triple patterns, filters, text patterns, VALUES
+// blocks, UNION branches) produce the same key, while anything that can
+// change the answer multiset — the pattern structure itself, DISTINCT,
+// LIMIT / OFFSET, ORDER BY, aggregates, projection order, constants —
+// produces a different key.  The answer cache uses the key to recognise
+// syntactically different but semantically identical candidate queries
+// across questions.
+//
+// Soundness is by construction: the key *is* the serialization of an
+// actual rewriting of the input query (a variable renaming plus
+// commutative reorderings), so equal keys imply answer-multiset-equivalent
+// queries.  Two conservative rules keep the rewriting semantics-preserving:
+//  * Queries with LIMIT or OFFSET are order-sensitive (the evaluator's row
+//    order depends on pattern order), so only variable renaming is
+//    applied; their element order is kept verbatim in the key.
+//  * OPTIONAL sub-groups are never reordered relative to each other
+//    (left joins do not commute when they share variables); their
+//    interiors are still canonicalized.
+//
+// Variable ranking uses colour refinement over the variables' occurrence
+// structure, with individualization on ties (branch on each tied variable,
+// keep the lexicographically smallest serialization), so the canonical
+// form is invariant under renaming even for symmetric patterns.  A small
+// branching budget bounds the search; pathological queries past it fall
+// back to breaking ties by original name — still sound, merely a possible
+// cache miss for an exotic rewrite.
+
+#ifndef KGQAN_SPARQL_CANONICAL_H_
+#define KGQAN_SPARQL_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace kgqan::sparql {
+
+struct CanonicalForm {
+  // Canonical serialization: equal keys => equivalent queries.
+  std::string key;
+
+  // False when the query cannot be keyed canonically (currently only
+  // SELECT *, whose projection depends on the pattern walk order that
+  // canonicalization rewrites).  `key` is empty in that case.
+  bool cacheable = true;
+
+  // Projected column names as the endpoint returns them for the *input*
+  // query (select variables or aggregate aliases, in projection order),
+  // and the canonical names of the same columns.  A cached result stored
+  // under canonical names is translated back positionally:
+  //   hit.WithColumns(form.projection_original).
+  // Both are empty for ASK queries.
+  std::vector<std::string> projection_original;
+  std::vector<std::string> projection_canonical;
+};
+
+CanonicalForm Canonicalize(const Query& query);
+
+}  // namespace kgqan::sparql
+
+#endif  // KGQAN_SPARQL_CANONICAL_H_

@@ -1,0 +1,227 @@
+// Answer-cache correctness property (the tentpole's hard bar): over
+// random repeated-question streams on multiple benchmark KGs, a cache-on
+// engine must produce byte-identical responses to a cache-off engine —
+// serially and through a concurrent QaServer whose workers share one
+// cache — and deadline-expired waves must never insert anything.
+//
+// The binary has its own main: `--seed=N` (or the KGQAN_PROPERTY_SEED
+// environment variable) reseeds the generator, so CI can rotate seeds and
+// a failure is reproducible locally with the printed flag.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "benchgen/benchmark.h"
+#include "core/answer_cache.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "rdf/term.h"
+#include "serve/qa_server.h"
+#include "sparql/endpoint.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgqan::core {
+
+// Set from --seed / KGQAN_PROPERTY_SEED in main() before RUN_ALL_TESTS.
+uint64_t g_property_seed = 0xACEC0DEu;
+
+namespace {
+
+KgqanConfig BaseConfig() {
+  KgqanConfig cfg;
+  cfg.num_threads = 1;
+  cfg.qu.inference.enabled = false;
+  return cfg;
+}
+
+KgqanConfig CachedConfig() {
+  KgqanConfig cfg = BaseConfig();
+  cfg.answer_cache = true;
+  cfg.answer_cache_capacity = 256;
+  cfg.answer_cache_shards = 4;
+  return cfg;
+}
+
+// The full observable response, rendered to a comparable string: byte
+// identity here is the cache's correctness bar.
+std::string Fingerprint(const QaResponse& response) {
+  std::string out;
+  out += response.understood ? "understood;" : "not-understood;";
+  if (response.is_boolean) {
+    out += response.boolean_answer ? "bool:true;" : "bool:false;";
+  }
+  for (const rdf::Term& term : response.answers) {
+    out += rdf::ToNTriples(term);
+    out += ';';
+  }
+  return out;
+}
+
+// A skewed question stream: a few hot questions dominate (squaring the
+// uniform draw biases toward low indices), so the stream contains both
+// heavy repetition and cold singletons.
+std::vector<size_t> SkewedStream(size_t num_questions, size_t length,
+                                 util::Rng* rng) {
+  std::vector<size_t> stream;
+  stream.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    double u = rng->UniformDouble();
+    stream.push_back(static_cast<size_t>(u * u * double(num_questions)) %
+                     num_questions);
+  }
+  return stream;
+}
+
+struct Workload {
+  benchgen::Benchmark bench;
+  std::vector<std::string> questions;  // Unique question texts.
+  std::vector<size_t> stream;          // Indices into `questions`.
+  std::vector<std::string> reference;  // Cache-off fingerprint per question.
+};
+
+Workload BuildWorkload(benchgen::BenchmarkId id, uint64_t seed) {
+  Workload w;
+  w.bench = benchgen::BuildBenchmark(id, 0.05);
+  size_t take = std::min<size_t>(w.bench.questions.size(), 10);
+  for (size_t i = 0; i < take; ++i) {
+    w.questions.push_back(w.bench.questions[i].text);
+  }
+  util::Rng rng(seed);
+  w.stream = SkewedStream(w.questions.size(), 3 * w.questions.size(), &rng);
+  KgqanEngine reference_engine(BaseConfig());
+  for (const std::string& q : w.questions) {
+    w.reference.push_back(
+        Fingerprint(reference_engine.Answer(q, *w.bench.endpoint)));
+  }
+  return w;
+}
+
+const std::vector<benchgen::BenchmarkId> kKgs = {
+    benchgen::BenchmarkId::kQald9, benchgen::BenchmarkId::kLcQuad};
+
+// Serial: every occurrence in the stream — first computations and cache
+// hits alike — must fingerprint identically to the uncached reference.
+TEST(AnswerCachePropertyTest, SerialStreamsAreByteIdenticalCacheOnVsOff) {
+  for (size_t k = 0; k < kKgs.size(); ++k) {
+    Workload w = BuildWorkload(kKgs[k], g_property_seed + k);
+    KgqanEngine cached(CachedConfig());
+    for (size_t pos = 0; pos < w.stream.size(); ++pos) {
+      size_t qi = w.stream[pos];
+      QaResponse response =
+          cached.Answer(w.questions[qi], *w.bench.endpoint);
+      ASSERT_EQ(Fingerprint(response), w.reference[qi])
+          << "kg=" << w.bench.kg_name << " question=\"" << w.questions[qi]
+          << "\" stream position " << pos << " seed=" << g_property_seed;
+    }
+    // A skewed stream longer than the question set must actually hit.
+    AnswerCacheStats stats = cached.answer_cache()->stats();
+    EXPECT_GT(stats.hits, 0u) << w.bench.kg_name;
+  }
+}
+
+// Concurrent: four workers round-robin over two engines sharing one
+// cache; racing Get/Put on the same keys must never surface a response
+// that differs from the uncached reference.
+TEST(AnswerCachePropertyTest, ConcurrentWorkersShareTheCacheCorrectly) {
+  for (size_t k = 0; k < kKgs.size(); ++k) {
+    Workload w = BuildWorkload(kKgs[k], g_property_seed + 31 * (k + 1));
+    auto shared = std::make_shared<AnswerCache>(256, 4);
+    KgqanEngine first(CachedConfig(), shared);
+    KgqanEngine second(CachedConfig(), shared);
+    serve::QaServerOptions options;
+    options.num_workers = 4;
+    options.queue_capacity = w.stream.size() + 4;
+    serve::QaServer server({&first, &second}, w.bench.endpoint.get(),
+                           options);
+    std::vector<std::pair<size_t, std::future<serve::QaServerResponse>>>
+        futures;
+    for (size_t qi : w.stream) {
+      auto submitted = server.Submit(w.questions[qi]);
+      ASSERT_TRUE(submitted.ok());
+      futures.emplace_back(qi, std::move(*submitted));
+    }
+    for (auto& [qi, future] : futures) {
+      serve::QaServerResponse response = future.get();
+      EXPECT_FALSE(response.deadline_exceeded);
+      ASSERT_EQ(Fingerprint(response.result.response), w.reference[qi])
+          << "kg=" << w.bench.kg_name << " question=\"" << w.questions[qi]
+          << "\" seed=" << g_property_seed;
+    }
+    server.Shutdown();
+    EXPECT_GT(shared->stats().hits, 0u) << w.bench.kg_name;
+  }
+}
+
+// Deadline discipline: a wave whose deadline expires at the first
+// endpoint touch must leave the cache completely empty — a poisoned
+// partial entry would outlive the wave and serve wrong answers forever.
+TEST(AnswerCachePropertyTest, ExpiredWavesNeverInsert) {
+  Workload w = BuildWorkload(kKgs[0], g_property_seed ^ 0xDEADull);
+  auto shared = std::make_shared<AnswerCache>(256, 4);
+  KgqanEngine engine(CachedConfig(), shared);
+  w.bench.endpoint->set_injected_latency_ms(5.0);
+  serve::QaServerOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = w.stream.size() + 4;
+  options.default_deadline_ms = 0.2;
+  serve::QaServer server(&engine, w.bench.endpoint.get(), options);
+  size_t expired = 0;
+  for (size_t qi : w.stream) {
+    auto response = server.Ask(w.questions[qi]);
+    ASSERT_TRUE(response.ok());
+    if (response->deadline_exceeded) ++expired;
+  }
+  server.Shutdown();
+  // The injected latency dwarfs the deadline, so (nearly) every request
+  // expires; whatever expired must not have inserted.
+  EXPECT_GT(expired, 0u);
+  if (expired == w.stream.size()) {
+    AnswerCacheStats stats = shared->stats();
+    EXPECT_EQ(stats.insertions, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.hits, 0u);
+  }
+  // After the storm, the same engine with the latency removed and no
+  // deadline answers correctly — nothing poisonous lingered.
+  w.bench.endpoint->set_injected_latency_ms(0.0);
+  for (size_t qi = 0; qi < w.questions.size(); ++qi) {
+    QaResponse response = engine.Answer(w.questions[qi], *w.bench.endpoint);
+    ASSERT_EQ(Fingerprint(response), w.reference[qi])
+        << "question=\"" << w.questions[qi] << "\"";
+  }
+}
+
+}  // namespace
+}  // namespace kgqan::core
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  uint64_t seed = kgqan::core::g_property_seed;
+  if (const char* env = std::getenv("KGQAN_PROPERTY_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  kgqan::core::g_property_seed = seed;
+  std::printf("[property] seed=%llu  (repro: answer_cache_property_test "
+              "--seed=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,439 @@
+// Canonicalization property test: over random query ASTs, every
+// semantics-preserving rewrite — bijective variable renaming, shuffling of
+// commutative element lists (triples, filters, text patterns, VALUES,
+// UNION branches) — must map to the *same* canonical cache key, while
+// every answer-changing modifier edit (LIMIT, DISTINCT, ORDER BY, a
+// constant swap, an extra triple) must map to a *different* key.  A key
+// collision across non-equivalent queries would silently serve wrong
+// answers from the cache, so the distinctness half is as load-bearing as
+// the invariance half.
+//
+// The binary has its own main: `--seed=N` (or the KGQAN_PROPERTY_SEED
+// environment variable) reseeds the generator, so CI can rotate seeds and
+// a failure is reproducible locally with the printed flag.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+#include "sparql/canonical.h"
+#include "util/rng.h"
+
+namespace kgqan::sparql {
+
+// Set from --seed / KGQAN_PROPERTY_SEED in main() before RUN_ALL_TESTS.
+uint64_t g_property_seed = 0xCA11ABu;
+
+namespace {
+
+using util::Rng;
+
+const char* kVarPool[] = {"a", "b", "c", "d", "e"};
+const char* kIriPool[] = {
+    "http://example.org/p/knows",  "http://example.org/p/capital",
+    "http://example.org/p/type",   "http://example.org/e/Alice",
+    "http://example.org/e/Bob",    "http://example.org/e/Paris",
+};
+
+// ---------------------------------------------------------------------------
+// Random query generation (pure AST — canonicalization never evaluates).
+
+class QueryGen {
+ public:
+  explicit QueryGen(uint64_t seed) : rng_(seed) {}
+
+  Rng& rng() { return rng_; }
+
+  Var RandVar() {
+    return Var{kVarPool[rng_.UniformInt(0, 4)]};
+  }
+
+  rdf::Term RandIri() {
+    return rdf::Iri(kIriPool[rng_.UniformInt(0, 5)]);
+  }
+
+  TermOrVar RandTermOrVar(int var_chance_out_of_3) {
+    if (rng_.UniformInt(0, 2) < var_chance_out_of_3) return RandVar();
+    return RandIri();
+  }
+
+  TriplePattern RandTriple() {
+    TriplePattern tp;
+    tp.s = RandTermOrVar(2);
+    tp.p = RandTermOrVar(1);
+    tp.o = RandTermOrVar(2);
+    return tp;
+  }
+
+  Expr RandFilter() {
+    Expr e;
+    switch (rng_.UniformInt(0, 2)) {
+      case 0:
+        e.op = ExprOp::kBound;
+        e.var = RandVar();
+        break;
+      case 1: {
+        e.op = rng_.UniformInt(0, 1) == 0 ? ExprOp::kEq : ExprOp::kNe;
+        e.lhs = std::make_unique<Expr>();
+        e.lhs->op = ExprOp::kVar;
+        e.lhs->var = RandVar();
+        e.rhs = std::make_unique<Expr>();
+        e.rhs->op = ExprOp::kConstant;
+        e.rhs->constant = RandIri();
+        break;
+      }
+      default: {
+        e.op = ExprOp::kContains;
+        e.lhs = std::make_unique<Expr>();
+        e.lhs->op = ExprOp::kStr;
+        e.lhs->lhs = std::make_unique<Expr>();
+        e.lhs->lhs->op = ExprOp::kVar;
+        e.lhs->lhs->var = RandVar();
+        e.rhs = std::make_unique<Expr>();
+        e.rhs->op = ExprOp::kConstant;
+        e.rhs->constant = rdf::StringLiteral("ar");
+        break;
+      }
+    }
+    return e;
+  }
+
+  GroupGraphPattern RandGroup(int depth) {
+    GroupGraphPattern g;
+    int triples = static_cast<int>(rng_.UniformInt(1, 4));
+    for (int i = 0; i < triples; ++i) g.triples.push_back(RandTriple());
+    int filters = static_cast<int>(rng_.UniformInt(0, 2));
+    for (int i = 0; i < filters; ++i) g.filters.push_back(RandFilter());
+    if (rng_.UniformInt(0, 3) == 0) {
+      TextPattern tp;
+      tp.var = RandVar();
+      tp.expr = "'obama'";
+      g.text_patterns.push_back(std::move(tp));
+    }
+    if (rng_.UniformInt(0, 3) == 0) {
+      InlineValues values;
+      values.var = RandVar();
+      values.values = {RandIri(), RandIri()};
+      g.values.push_back(std::move(values));
+    }
+    if (depth > 0 && rng_.UniformInt(0, 2) == 0) {
+      g.optionals.push_back(RandGroup(depth - 1));
+    }
+    if (depth > 0 && rng_.UniformInt(0, 3) == 0) {
+      std::vector<GroupGraphPattern> branches;
+      branches.push_back(RandGroup(0));
+      branches.push_back(RandGroup(0));
+      g.unions.push_back(std::move(branches));
+    }
+    return g;
+  }
+
+  Query RandQuery() {
+    Query q;
+    q.where = RandGroup(1);
+    if (rng_.UniformInt(0, 4) == 0) {
+      q.form = Query::Form::kAsk;
+      return q;
+    }
+    q.form = Query::Form::kSelect;
+    q.distinct = rng_.UniformInt(0, 1) == 0;
+    if (rng_.UniformInt(0, 6) == 0) {
+      Aggregate agg;
+      agg.op = Aggregate::Op::kCount;
+      agg.distinct = rng_.UniformInt(0, 1) == 1;
+      agg.var = RandVar();
+      agg.alias = Var{"cnt"};
+      q.aggregates.push_back(std::move(agg));
+    } else {
+      int nvars = static_cast<int>(rng_.UniformInt(1, 2));
+      for (int i = 0; i < nvars; ++i) {
+        Var v = RandVar();
+        if (std::find(q.select_vars.begin(), q.select_vars.end(), v) ==
+            q.select_vars.end()) {
+          q.select_vars.push_back(std::move(v));
+        }
+      }
+      if (rng_.UniformInt(0, 3) == 0) {
+        OrderKey key;
+        key.var = q.select_vars.front();
+        key.descending = rng_.UniformInt(0, 1) == 1;
+        q.order_by.push_back(std::move(key));
+      }
+    }
+    if (rng_.UniformInt(0, 3) == 0) {
+      q.limit = static_cast<size_t>(rng_.UniformInt(1, 20));
+    }
+    return q;
+  }
+
+ private:
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Semantics-preserving rewrites.
+
+using RenameMap = std::map<std::string, std::string>;
+
+Var Ren(const Var& v, const RenameMap& m) {
+  auto it = m.find(v.name);
+  return Var{it == m.end() ? v.name : it->second};
+}
+
+TermOrVar Ren(const TermOrVar& tv, const RenameMap& m) {
+  if (IsVar(tv)) return Ren(AsVar(tv), m);
+  return tv;
+}
+
+Expr RenExpr(const Expr& e, const RenameMap& m) {
+  Expr out;
+  out.op = e.op;
+  out.var = Ren(e.var, m);
+  out.constant = e.constant;
+  if (e.lhs) out.lhs = std::make_unique<Expr>(RenExpr(*e.lhs, m));
+  if (e.rhs) out.rhs = std::make_unique<Expr>(RenExpr(*e.rhs, m));
+  return out;
+}
+
+GroupGraphPattern RenGroup(const GroupGraphPattern& g, const RenameMap& m) {
+  GroupGraphPattern out;
+  for (const TriplePattern& tp : g.triples) {
+    out.triples.push_back({Ren(tp.s, m), Ren(tp.p, m), Ren(tp.o, m)});
+  }
+  for (const TextPattern& tp : g.text_patterns) {
+    out.text_patterns.push_back({Ren(tp.var, m), tp.expr});
+  }
+  for (const InlineValues& values : g.values) {
+    out.values.push_back({Ren(values.var, m), values.values});
+  }
+  for (const Expr& f : g.filters) out.filters.push_back(RenExpr(f, m));
+  for (const GroupGraphPattern& opt : g.optionals) {
+    out.optionals.push_back(RenGroup(opt, m));
+  }
+  for (const auto& branches : g.unions) {
+    std::vector<GroupGraphPattern> renamed;
+    for (const GroupGraphPattern& branch : branches) {
+      renamed.push_back(RenGroup(branch, m));
+    }
+    out.unions.push_back(std::move(renamed));
+  }
+  return out;
+}
+
+Query Rename(const Query& q, const RenameMap& m) {
+  Query out;
+  out.form = q.form;
+  out.distinct = q.distinct;
+  out.select_all = q.select_all;
+  for (const Var& v : q.select_vars) out.select_vars.push_back(Ren(v, m));
+  for (const Aggregate& a : q.aggregates) {
+    out.aggregates.push_back({a.op, a.distinct, Ren(a.var, m), a.alias});
+  }
+  out.where = RenGroup(q.where, m);
+  for (const OrderKey& key : q.order_by) {
+    out.order_by.push_back({Ren(key.var, m), key.descending});
+  }
+  out.limit = q.limit;
+  out.offset = q.offset;
+  return out;
+}
+
+// Expr holds unique_ptr children, so Query has no copy constructor; an
+// identity rename is a deep clone.
+Query Clone(const Query& q) { return Rename(q, RenameMap{}); }
+
+// A random bijection from the var pool into fresh names (disjoint from the
+// pool so a partial overlap cannot collapse two variables into one).
+RenameMap RandomBijection(Rng& rng) {
+  std::vector<std::string> fresh = {"r0", "r1", "r2", "r3", "r4"};
+  for (size_t i = fresh.size(); i > 1; --i) {
+    std::swap(fresh[i - 1], fresh[rng.UniformInt(0, int64_t(i) - 1)]);
+  }
+  RenameMap m;
+  for (size_t i = 0; i < 5; ++i) m[kVarPool[i]] = fresh[i];
+  return m;
+}
+
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng& rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[rng.UniformInt(0, int64_t(i) - 1)]);
+  }
+}
+
+// Shuffles every commutative list in place: triples, text patterns,
+// VALUES, filters, and the order of branches inside each UNION block.
+// OPTIONAL order is left untouched (left joins do not commute) though the
+// contents of each OPTIONAL are shuffled recursively.
+void ShuffleGroup(GroupGraphPattern* g, Rng& rng) {
+  Shuffle(&g->triples, rng);
+  Shuffle(&g->text_patterns, rng);
+  Shuffle(&g->values, rng);
+  // Expr is move-only through its unique_ptr children; rotate instead.
+  if (g->filters.size() > 1) {
+    size_t k = size_t(rng.UniformInt(0, int64_t(g->filters.size()) - 1));
+    std::rotate(g->filters.begin(), g->filters.begin() + k, g->filters.end());
+  }
+  for (GroupGraphPattern& opt : g->optionals) ShuffleGroup(&opt, rng);
+  for (auto& branches : g->unions) {
+    Shuffle(&branches, rng);
+    for (GroupGraphPattern& branch : branches) ShuffleGroup(&branch, rng);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+constexpr int kRounds = 60;
+
+TEST(CanonicalPropertyTest, RenamingAndReorderingPreserveTheKey) {
+  QueryGen gen(g_property_seed);
+  for (int round = 0; round < kRounds; ++round) {
+    Query q = gen.RandQuery();
+    CanonicalForm base = Canonicalize(q);
+    ASSERT_TRUE(base.cacheable) << ToSparql(q);
+    // Determinism: canonicalizing twice gives the same key and projection.
+    CanonicalForm again = Canonicalize(q);
+    EXPECT_EQ(base.key, again.key) << ToSparql(q);
+    EXPECT_EQ(base.projection_canonical, again.projection_canonical);
+
+    // Renaming invariance: the key and the canonical projection must not
+    // change; the original-name projection follows the renaming.
+    Query renamed = Rename(q, RandomBijection(gen.rng()));
+    CanonicalForm renamed_form = Canonicalize(renamed);
+    EXPECT_EQ(base.key, renamed_form.key)
+        << "original:\n" << ToSparql(q) << "renamed:\n" << ToSparql(renamed)
+        << "seed=" << g_property_seed << " round=" << round;
+    EXPECT_EQ(base.projection_canonical, renamed_form.projection_canonical);
+
+    // Commutative reordering is only canonicalized away when no LIMIT /
+    // OFFSET window makes evaluation order observable.
+    if (q.limit == 0 && q.offset == 0) {
+      Query shuffled = Rename(q, RandomBijection(gen.rng()));
+      ShuffleGroup(&shuffled.where, gen.rng());
+      CanonicalForm shuffled_form = Canonicalize(shuffled);
+      EXPECT_EQ(base.key, shuffled_form.key)
+          << "original:\n" << ToSparql(q) << "shuffled:\n"
+          << ToSparql(shuffled) << "seed=" << g_property_seed
+          << " round=" << round;
+    }
+  }
+}
+
+TEST(CanonicalPropertyTest, ModifierEditsChangeTheKey) {
+  QueryGen gen(g_property_seed ^ 0x5EEDull);
+  for (int round = 0; round < kRounds; ++round) {
+    Query q = gen.RandQuery();
+    CanonicalForm base = Canonicalize(q);
+    ASSERT_TRUE(base.cacheable);
+
+    Query limited = Clone(q);
+    limited.limit = q.limit == 0 ? 5 : q.limit + 1;
+    EXPECT_NE(base.key, Canonicalize(limited).key) << ToSparql(q);
+
+    Query offsetted = Clone(q);
+    offsetted.offset = q.offset + 3;
+    EXPECT_NE(base.key, Canonicalize(offsetted).key) << ToSparql(q);
+
+    if (q.form == Query::Form::kSelect) {
+      Query flipped = Clone(q);
+      flipped.distinct = !q.distinct;
+      EXPECT_NE(base.key, Canonicalize(flipped).key) << ToSparql(q);
+
+      if (!q.select_vars.empty()) {
+        Query ordered = Clone(q);
+        if (q.order_by.empty()) {
+          ordered.order_by.push_back({q.select_vars.front(), false});
+        } else {
+          ordered.order_by.clear();
+        }
+        EXPECT_NE(base.key, Canonicalize(ordered).key) << ToSparql(q);
+      }
+    }
+
+    if (!q.where.triples.empty()) {
+      // Swapping a constant for a fresh IRI changes the answer set, so it
+      // must change the key even though the shape is identical.
+      Query edited = Clone(q);
+      edited.where.triples.front().p =
+          rdf::Iri("http://example.org/p/never-used");
+      EXPECT_NE(base.key, Canonicalize(edited).key) << ToSparql(q);
+    }
+
+    Query extended = Clone(q);
+    TriplePattern extra;
+    extra.s = Var{"a"};
+    extra.p = rdf::Iri("http://example.org/p/extra");
+    extra.o = rdf::Iri("http://example.org/e/Extra");
+    extended.where.triples.push_back(std::move(extra));
+    EXPECT_NE(base.key, Canonicalize(extended).key) << ToSparql(q);
+  }
+}
+
+TEST(CanonicalPropertyTest, SelectStarIsNeverCacheable) {
+  Query q;
+  q.form = Query::Form::kSelect;
+  q.select_all = true;
+  TriplePattern tp;
+  tp.s = Var{"s"};
+  tp.p = Var{"p"};
+  tp.o = Var{"o"};
+  q.where.triples.push_back(std::move(tp));
+  EXPECT_FALSE(Canonicalize(q).cacheable);
+}
+
+TEST(CanonicalPropertyTest, ProjectionMapsEverySelectVariable) {
+  QueryGen gen(g_property_seed ^ 0xFACEull);
+  for (int round = 0; round < kRounds; ++round) {
+    Query q = gen.RandQuery();
+    if (q.form != Query::Form::kSelect) continue;
+    CanonicalForm form = Canonicalize(q);
+    ASSERT_EQ(form.projection_original.size(),
+              form.projection_canonical.size());
+    if (!q.aggregates.empty()) {
+      ASSERT_EQ(form.projection_original.size(), q.aggregates.size());
+    } else {
+      ASSERT_EQ(form.projection_original.size(), q.select_vars.size());
+      for (size_t i = 0; i < q.select_vars.size(); ++i) {
+        EXPECT_EQ(form.projection_original[i], q.select_vars[i].name);
+      }
+    }
+    // Canonical names are drawn from the renamed space.
+    for (const std::string& name : form.projection_canonical) {
+      EXPECT_EQ(name.rfind("v", 0), 0u) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgqan::sparql
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  uint64_t seed = kgqan::sparql::g_property_seed;
+  if (const char* env = std::getenv("KGQAN_PROPERTY_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  kgqan::sparql::g_property_seed = seed;
+  std::printf("[property] seed=%llu  (repro: sparql_canonical_property_test "
+              "--seed=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  return RUN_ALL_TESTS();
+}
