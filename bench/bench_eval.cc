@@ -1,0 +1,262 @@
+// Joint evaluation-speed dashboard: single-query latency of candidate-shaped
+// SPARQL queries against one endpoint across the four evaluation modes —
+// serial row-at-a-time, morsel-sharded, vectorized (columnar batches through
+// the cardinality-planned broadcast/hash/probe kernels), and
+// sharded + vectorized — plus the index-build satellite that rides on the
+// same store.  Subsumes the former bench_sharding.
+//
+// Every non-serial run is checked byte-identical to the serial reference
+// before its timing is reported; a speedup printed here is a speedup of the
+// *same* answer.  `--json=out.json` writes a machine-readable summary the
+// CI bench-smoke gate checks (vectorized must not lose to serial on the
+// star-shaped query).  Numbers depend on the machine's core count (printed
+// in the header).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "benchgen/kg.h"
+#include "sparql/endpoint.h"
+#include "sparql/result_set.h"
+#include "store/triple_store.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using kgqan::sparql::ResultSet;
+
+bool SameResults(const ResultSet& a, const ResultSet& b) {
+  return a.is_ask() == b.is_ask() && a.ask_value() == b.ask_value() &&
+         a.columns() == b.columns() && a.rows() == b.rows();
+}
+
+struct Mode {
+  const char* name;
+  size_t threads;
+  bool vectorized;
+};
+
+constexpr Mode kModes[] = {
+    {"serial", 1, false},
+    {"sharded", 8, false},
+    {"vectorized", 1, true},
+    {"both", 8, true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgqan;
+  const double scale = bench::ParseScale(argc, argv);
+  const std::string json_path = bench::ParseFlag(argc, argv, "json");
+  constexpr int kReps = 5;
+
+  std::printf("Evaluation modes: serial vs sharded vs vectorized vs both "
+              "(hardware threads on this host: %u)\n",
+              std::thread::hardware_concurrency());
+
+  // The MAG-style builder is the largest (~10-100x the general KGs at the
+  // same scale), so scans are wide enough to shard and batch.
+  benchgen::BuiltKg kg =
+      benchgen::BuildScholarlyKg(benchgen::KgFlavor::kMag, scale, 42);
+  std::printf("KG: %s, %zu triples (scale %.2f)\n", kg.name.c_str(),
+              kg.graph.size(), scale);
+
+  // Satellite: parallel TripleStore construction.  The builder is seeded,
+  // so regenerating yields the identical graph (rdf::Graph is move-only);
+  // only the wall time of the six permutation sorts differs.
+  double build_serial_ms = 0.0;
+  double build_parallel_ms = 0.0;
+  {
+    rdf::Graph g = benchgen::BuildScholarlyKg(benchgen::KgFlavor::kMag, scale,
+                                              42)
+                       .graph;
+    util::Stopwatch w;
+    store::TripleStore serial(std::move(g), /*build_threads=*/1);
+    build_serial_ms = w.ElapsedMillis();
+  }
+  {
+    rdf::Graph g = benchgen::BuildScholarlyKg(benchgen::KgFlavor::kMag, scale,
+                                              42)
+                       .graph;
+    util::Stopwatch w;
+    store::TripleStore parallel(std::move(g), /*build_threads=*/8);
+    build_parallel_ms = w.ElapsedMillis();
+  }
+  std::printf("index build: serial %.1f ms, 8-thread %.1f ms (%.2fx)\n",
+              build_serial_ms, build_parallel_ms,
+              build_serial_ms / (build_parallel_ms > 0.0 ? build_parallel_ms
+                                                         : 1.0));
+
+  // A productive two-hop chain predicate (objects typed like subjects, e.g.
+  // paper-cites-paper), and the star hub: the subject type with the most
+  // distinct entity-valued predicates, whose top predicates form the
+  // common-subject star of a typical LC-QuAD candidate.
+  std::string chain_pred;
+  size_t chain_facts = 0;
+  std::map<std::string, std::map<std::string, size_t>> preds_by_type;
+  for (const auto& [key, facts] : kg.facts) {
+    if (facts.empty()) continue;
+    const benchgen::Fact& f = facts.front();
+    if (f.object_type_key.empty()) continue;  // literal objects
+    preds_by_type[f.subject.type_key][f.predicate_iri] += facts.size();
+    const bool self_typed = f.object_type_key == f.subject.type_key;
+    if ((self_typed && (chain_facts == 0 || facts.size() > chain_facts)) ||
+        (chain_pred.empty() && !facts.empty())) {
+      chain_pred = f.predicate_iri;
+      chain_facts = facts.size();
+    }
+  }
+  std::vector<std::string> star_preds;
+  for (const auto& [type_key, preds] : preds_by_type) {
+    if (preds.size() > star_preds.size()) {
+      star_preds.clear();
+      for (const auto& [iri, count] : preds) star_preds.push_back(iri);
+    }
+  }
+  if (star_preds.size() > 3) star_preds.resize(3);
+  // An entity anchor for the candidate-shaped star: KGQAn's linker always
+  // grounds at least one term, so real LC-QuAD candidates enter the join
+  // from a selective bound pattern, not a full predicate scan.
+  std::string star_anchor;
+  if (!star_preds.empty()) {
+    for (const auto& [key, facts] : kg.facts) {
+      if (!facts.empty() && facts.front().predicate_iri == star_preds[0] &&
+          facts.front().object.kind == rdf::TermKind::kIri) {
+        star_anchor = facts.front().object.value;
+        break;
+      }
+    }
+  }
+
+  struct QuerySpec {
+    const char* label;
+    std::string text;
+  };
+  std::vector<QuerySpec> specs = {
+      {"count-scan", "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }"},
+      {"distinct-pred", "SELECT DISTINCT ?p WHERE { ?s ?p ?o }"},
+  };
+  if (star_preds.size() >= 2) {
+    std::string star = "SELECT (COUNT(?x) AS ?n) WHERE {";
+    for (size_t i = 0; i < star_preds.size(); ++i) {
+      star += " ?x <" + star_preds[i] + "> ?v" + std::to_string(i) + " .";
+    }
+    star += " }";
+    specs.push_back({"star-hub", std::move(star)});
+    if (!star_anchor.empty()) {
+      // Candidate-shaped: the anchored pattern is most selective, so the
+      // planner enters there and the remaining star edges join a small
+      // batch — the shape the engine's generated queries actually have.
+      std::string anchored = "SELECT ?x WHERE { ?x <" + star_preds[0] +
+                             "> <" + star_anchor + "> .";
+      for (size_t i = 1; i < star_preds.size(); ++i) {
+        anchored += " ?x <" + star_preds[i] + "> ?v" + std::to_string(i) +
+                    " .";
+      }
+      anchored += " }";
+      specs.push_back({"star-anchored", std::move(anchored)});
+    }
+  }
+  if (!chain_pred.empty()) {
+    specs.push_back({"chain-2hop",
+                     "SELECT (COUNT(?a) AS ?n) WHERE { ?a <" + chain_pred +
+                         "> ?b . ?b <" + chain_pred + "> ?c }"});
+  }
+
+  sparql::EndpointOptions ep_options;
+  ep_options.build_threads = 8;
+  sparql::Endpoint ep("mag-eval", std::move(kg.graph), ep_options);
+  // Let the joins' intermediate results grow past the default cap so the
+  // later steps have real work; identical for every mode.
+  ep.mutable_eval_options().max_rows = 4'000'000;
+  std::printf("index footprint: %.1f MiB "
+              "(six permutation indexes + term dictionary)\n\n",
+              static_cast<double>(ep.store().ApproxIndexBytes()) /
+                  (1024.0 * 1024.0));
+
+  bench::PrintRule(88);
+  std::printf("%-14s", "query");
+  for (const Mode& m : kModes) std::printf("  %10s", m.name);
+  std::printf("   vec/ser  both/ser\n");
+  bench::PrintRule(88);
+
+  struct Run {
+    const char* query;
+    const char* mode;
+    double ms;
+    size_t rows;
+  };
+  std::vector<Run> runs;
+  bool all_identical = true;
+  for (const QuerySpec& spec : specs) {
+    std::printf("%-14s", spec.label);
+    double by_mode[4] = {0, 0, 0, 0};
+    ResultSet reference{std::vector<std::string>{}};
+    for (size_t mi = 0; mi < 4; ++mi) {
+      const Mode& mode = kModes[mi];
+      ep.set_intra_query_threads(mode.threads);
+      ep.set_vectorized_eval(mode.vectorized);
+      double best_ms = 0.0;
+      size_t rows = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        util::Stopwatch w;
+        auto rs = ep.Query(spec.text);
+        double ms = w.ElapsedMillis();
+        if (!rs.ok()) {
+          std::printf("\nquery failed: %s\n", rs.status().message().c_str());
+          return 1;
+        }
+        rows = rs->is_ask() ? size_t{rs->ask_value()} : rs->NumRows();
+        if (mi == 0 && rep == 0) reference = std::move(*rs);
+        if (mi != 0 && rep == 0 && !SameResults(reference, *rs)) {
+          all_identical = false;
+        }
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      by_mode[mi] = best_ms;
+      runs.push_back({spec.label, mode.name, best_ms, rows});
+      std::printf("  %7.2f ms", best_ms);
+    }
+    std::printf("  %7.2fx  %7.2fx\n",
+                by_mode[0] / (by_mode[2] > 0.0 ? by_mode[2] : 1.0),
+                by_mode[0] / (by_mode[3] > 0.0 ? by_mode[3] : 1.0));
+  }
+  bench::PrintRule(88);
+  std::printf("all modes byte-identical to serial: %s\n",
+              all_identical ? "yes" : "NO — BUG");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"bench_eval\",\n");
+    std::fprintf(out, "  \"scale\": %g,\n  \"triples\": %zu,\n", scale,
+                 ep.NumTriples());
+    std::fprintf(out, "  \"identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(out, "  \"build_serial_ms\": %.3f,\n", build_serial_ms);
+    std::fprintf(out, "  \"build_parallel_ms\": %.3f,\n", build_parallel_ms);
+    std::fprintf(out, "  \"runs\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"query\": \"%s\", \"mode\": \"%s\", "
+                   "\"ms\": %.4f, \"rows\": %zu}%s\n",
+                   runs[i].query, runs[i].mode, runs[i].ms, runs[i].rows,
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}

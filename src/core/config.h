@@ -67,6 +67,20 @@ struct KgqanConfig {
   // does this at startup).
   size_t intra_query_threads = 1;
 
+  // Columnar (vectorized) SPARQL evaluation (not a paper parameter):
+  // solutions flow through the endpoint's evaluator as term-id column
+  // batches with cardinality-planned join order and broadcast/hash/probe
+  // kernels, instead of row-at-a-time nested loops.  Off (default) keeps
+  // the row path; on, results are byte-identical (the differential
+  // property test's bar) on every seed, thread count, and batch size.
+  // Composes with intra_query_threads.  Applied to an endpoint via
+  // KgqanEngine::ConfigureEndpoint, like intra_query_threads.
+  bool vectorized_eval = false;
+
+  // Rows/triples a vectorized kernel processes between deadline
+  // re-checks; also the columnar batch granularity.
+  size_t eval_batch_size = 1024;
+
   // Total entries per mode of the sharded LRU linking cache keyed by
   // (phrase, KG identity, mode); repeated questions skip the endpoint
   // round-trips of Sec. 5 entirely.  0 disables caching.

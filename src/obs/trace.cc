@@ -41,6 +41,8 @@ std::string_view TraceCounterName(TraceCounter counter) {
       return "linking_cache.misses";
     case TraceCounter::kEvalMorsels:
       return "eval.morsels";
+    case TraceCounter::kEvalBatches:
+      return "eval.batches";
     case TraceCounter::kCount:
       break;
   }

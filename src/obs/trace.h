@@ -62,6 +62,7 @@ enum class TraceCounter : size_t {
   kLinkingCacheHits,
   kLinkingCacheMisses,
   kEvalMorsels,  // Morsels spawned by sharded BGP join steps.
+  kEvalBatches,  // Batch boundaries crossed by vectorized join kernels.
   kCount,
 };
 

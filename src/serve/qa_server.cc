@@ -24,9 +24,10 @@ QaServer::QaServer(std::vector<const core::KgqanEngine*> engines,
   metric_queue_wait_ms_ = &registry.GetHistogram("serve.queue_wait_ms");
   metric_e2e_ms_ = &registry.GetHistogram("serve.e2e_ms");
 
-  // Apply the engines' endpoint-side configuration (intra-query sharding)
-  // before any worker can pick up a request: this is the single spot where
-  // Config::intra_query_threads reaches the endpoint in a served process.
+  // Apply the engines' endpoint-side configuration (intra-query sharding,
+  // vectorized evaluation) before any worker can pick up a request: this
+  // is the single spot where Config::intra_query_threads and
+  // Config::vectorized_eval reach the endpoint in a served process.
   if (!engines_.empty() && engines_.front() != nullptr &&
       endpoint_ != nullptr) {
     engines_.front()->ConfigureEndpoint(*endpoint_);

@@ -28,6 +28,9 @@ Endpoint::Endpoint(std::string name, rdf::Graph graph,
   if (options.intra_query_threads != 1) {
     set_intra_query_threads(options.intra_query_threads);
   }
+  if (options.vectorized_eval) {
+    set_vectorized_eval(true);
+  }
 }
 
 void Endpoint::set_intra_query_threads(size_t n) {

@@ -62,6 +62,9 @@ struct EndpointOptions {
   // Threads used to sort the store's six permutation indexes at build
   // time (1 = unchanged serial build).
   size_t build_threads = 1;
+  // Columnar (vectorized) evaluation from the start; also settable later
+  // via set_vectorized_eval().  Result-identical to the row path.
+  bool vectorized_eval = false;
 };
 
 class Endpoint {
@@ -137,6 +140,16 @@ class Endpoint {
   size_t intra_query_threads() const {
     return eval_options_.intra_query_threads;
   }
+
+  // Toggles columnar (vectorized) evaluation; `batch_size` > 0 also sets
+  // the rows-per-deadline-check batch width.  Composes with
+  // set_intra_query_threads and stays result-identical to the serial row
+  // path.  Configuration call — do not race against queries.
+  void set_vectorized_eval(bool on, size_t batch_size = 0) {
+    eval_options_.vectorized = on;
+    if (batch_size > 0) eval_options_.batch_size = batch_size;
+  }
+  bool vectorized_eval() const { return eval_options_.vectorized; }
 
   // Latency injection point (tests / serving benchmark): every query
   // sleeps `ms` before evaluating, as if the endpoint were remote.  Safe

@@ -2,9 +2,16 @@
 //
 // The evaluator compiles the query's variables to dense slots, seeds
 // bindings from `bif:contains` text patterns (in text-index relevance
-// order, so LIMIT keeps the best matches), joins triple patterns with a
-// greedy selectivity-ordered index-nested-loop strategy, then applies
+// order, so LIMIT keeps the best matches), joins triple patterns in the
+// order chosen by the cardinality planner (sparql/planner.h), then applies
 // OPTIONAL groups (left join) and FILTER expressions.
+//
+// Two execution models share that plan: the row-at-a-time path (a Binding
+// vector per solution) and the opt-in vectorized path (EvalOptions::
+// vectorized), which carries solutions as columnar TermId batches through
+// broadcast/hash/probe join kernels.  Both compose with intra-query morsel
+// sharding, and every mode is result-identical to the serial row path:
+// same rows, same order, same caps.
 
 #ifndef KGQAN_SPARQL_EVALUATOR_H_
 #define KGQAN_SPARQL_EVALUATOR_H_
@@ -44,6 +51,18 @@ struct EvalOptions {
   // sharding on tiny graphs.
   size_t min_shard_work = 4096;
   size_t min_morsel_triples = 1024;
+  // Columnar execution: solutions flow as batches of term-id column
+  // vectors through broadcast/hash/probe join kernels instead of
+  // row-at-a-time Bindings.  Result-identical to the row path (same rows,
+  // same order); composes with intra_query_threads.
+  bool vectorized = false;
+  // Vectorized work units per deadline re-check: every batch_size scanned
+  // triples / emitted rows is a batch boundary where cancellation is
+  // polled, so deadlines bite mid-scan at any kernel size.
+  size_t batch_size = 1024;
+  // Testing hook: microseconds slept at every batch boundary, to make
+  // per-batch cancellation observable on small graphs.  0 in production.
+  size_t testing_batch_delay_us = 0;
 };
 
 // Evaluates `query` against `store` / `text_index`.

@@ -1,0 +1,71 @@
+#include "sparql/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace kgqan::sparql {
+
+namespace {
+
+using rdf::kNullTermId;
+using rdf::TermId;
+
+// Fan-in heuristic: a component whose variable is already bound behaves
+// like a constant of unknown value, so its estimate is divided by this
+// factor (the average out-degree assumed for a bound join key).
+constexpr size_t kBoundDiscount = 64;
+
+}  // namespace
+
+size_t EstimateTripleCost(const store::TripleStore& store,
+                          const CompiledTriple& cp,
+                          const std::vector<bool>& bound) {
+  if (cp.dead) return 0;
+  auto comp = [](uint64_t c) -> TermId {
+    if (!CompiledTriple::IsSlot(c)) return static_cast<TermId>(c);
+    return kNullTermId;
+  };
+  size_t est = store.EstimateMatches(comp(cp.s), comp(cp.p), comp(cp.o));
+  auto discount = [&](uint64_t c, size_t e) {
+    if (CompiledTriple::IsSlot(c) && bound[CompiledTriple::Slot(c)]) {
+      return std::max<size_t>(1, e / kBoundDiscount);
+    }
+    return e;
+  };
+  est = discount(cp.s, est);
+  est = discount(cp.p, est);
+  est = discount(cp.o, est);
+  return est;
+}
+
+JoinPlan PlanJoins(const store::TripleStore& store,
+                   const std::vector<CompiledTriple>& patterns,
+                   std::vector<bool> bound) {
+  JoinPlan plan;
+  plan.steps.reserve(patterns.size());
+  std::vector<bool> used(patterns.size(), false);
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    // Pick the cheapest unused pattern; strict < keeps ties on the earliest
+    // pattern index, so plans are deterministic for tied cardinalities.
+    size_t best = patterns.size();
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      size_t cost = EstimateTripleCost(store, patterns[i], bound);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    used[best] = true;
+    plan.steps.push_back(PlanStep{best, best_cost});
+    if (best != step) plan.reordered = true;
+    const CompiledTriple& cp = patterns[best];
+    for (uint64_t c : {cp.s, cp.p, cp.o}) {
+      if (CompiledTriple::IsSlot(c)) bound[CompiledTriple::Slot(c)] = true;
+    }
+  }
+  return plan;
+}
+
+}  // namespace kgqan::sparql

@@ -1,0 +1,72 @@
+// Cardinality-based join planning for BGP evaluation.
+//
+// The planner orders the triple patterns of one group graph pattern by
+// greedy selectivity: at each step it picks the unused pattern with the
+// smallest estimated match count given the slots already bound, using the
+// store's per-permutation Locate() range sizes as the estimator (exact for
+// the constant components of a pattern — every bound-component subset is a
+// key prefix of one of the six permutations — and discounted heuristically
+// for components whose variable is bound by earlier steps).
+//
+// Every evaluation mode (serial, morsel-sharded, vectorized, and
+// sharded+vectorized) executes the *same* plan: the plan is a pure function
+// of the store and the bound-slot set, so join order — and therefore result
+// order — is mode-independent by construction.  Ties are broken by pattern
+// position, keeping plans deterministic when cardinalities collide.
+
+#ifndef KGQAN_SPARQL_PLANNER_H_
+#define KGQAN_SPARQL_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "store/triple_store.h"
+
+namespace kgqan::sparql {
+
+// A triple pattern compiled against the store's dictionary: each component
+// is either a constant term id, or (slot | kVarFlag) for a variable mapped
+// to a dense slot.
+struct CompiledTriple {
+  static constexpr uint64_t kVarFlag = 1ULL << 40;
+  uint64_t s = 0, p = 0, o = 0;
+  bool dead = false;  // A constant term absent from this KG: no matches.
+
+  static bool IsSlot(uint64_t c) { return (c & kVarFlag) != 0; }
+  static size_t Slot(uint64_t c) { return static_cast<size_t>(c & ~kVarFlag); }
+};
+
+// One join step of a plan: which pattern to execute next and its
+// cardinality estimate at planning time.
+struct PlanStep {
+  size_t pattern = 0;   // Index into the compiled pattern list.
+  size_t estimate = 0;  // Estimated matches when the step was chosen.
+};
+
+struct JoinPlan {
+  std::vector<PlanStep> steps;
+  // True when the chosen order differs from the textual pattern order.
+  bool reordered = false;
+};
+
+// Estimated number of matches of `cp` given which slots are bound.  Constant
+// components index the store exactly (Locate range size via
+// TripleStore::EstimateMatches); components whose slot is bound are treated
+// as constants of unknown value, each dividing the estimate by a fixed
+// fan-in heuristic.  A dead pattern estimates 0.
+size_t EstimateTripleCost(const store::TripleStore& store,
+                          const CompiledTriple& cp,
+                          const std::vector<bool>& bound);
+
+// Greedy selectivity plan over `patterns`.  `bound[slot]` marks slots bound
+// by the incoming solution rows (text patterns / VALUES); the planner
+// extends it internally as steps are chosen.  Deterministic: equal
+// estimates fall back to pattern order.
+JoinPlan PlanJoins(const store::TripleStore& store,
+                   const std::vector<CompiledTriple>& patterns,
+                   std::vector<bool> bound);
+
+}  // namespace kgqan::sparql
+
+#endif  // KGQAN_SPARQL_PLANNER_H_

@@ -114,6 +114,16 @@ class TripleStore {
   // Number of matching triples.
   size_t CountMatches(TermId s, TermId p, TermId o) const;
 
+  // Cardinality estimate for the pattern: the located range width in the
+  // best permutation, i.e. two binary searches and no scan.  Exact whenever
+  // the bound components form that permutation's key prefix — which
+  // Locate() guarantees for every bound-component subset — so this equals
+  // CountMatches() but names the planner's contract: an O(log n)
+  // per-permutation range size, never a residual-filtered count.
+  size_t EstimateMatches(TermId s, TermId p, TermId o) const {
+    return Locate(s, p, o).size();
+  }
+
   // True if the fully bound triple exists.
   bool Contains(TermId s, TermId p, TermId o) const;
 

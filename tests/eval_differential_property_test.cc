@@ -1,0 +1,428 @@
+// Serial ≡ sharded ≡ vectorized differential property test: random queries
+// over random benchgen KGs must produce byte-identical ResultSets (same
+// rows, same order, same columns) across all four evaluation modes —
+// legacy serial, morsel-sharded, vectorized (columnar batches through the
+// cardinality-planned broadcast/hash/probe kernels), and
+// sharded + vectorized — at every thread count and batch size, including
+// when the max_rows cap truncates mid-step and when results round-trip
+// through the cross-question answer cache.
+//
+// The binary has its own main: `--seed=N` (or the KGQAN_PROPERTY_SEED
+// environment variable) reseeds the generator, so CI can rotate seeds and
+// a failure is reproducible locally with the printed flag.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "benchgen/kg.h"
+#include "core/answer_cache.h"
+#include "rdf/ntriples.h"
+#include "sparql/ast.h"
+#include "sparql/canonical.h"
+#include "sparql/endpoint.h"
+#include "sparql/evaluator.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace kgqan::sparql {
+
+// Set from --seed / KGQAN_PROPERTY_SEED in main() before RUN_ALL_TESTS.
+uint64_t g_property_seed = 0xD1FFu;
+
+namespace {
+
+// Random query generator grounded in a built benchgen KG: patterns use the
+// KG's real predicate IRIs and entity IRIs, so joins actually produce rows
+// and the planner has real cardinality spreads to reorder on.
+class KgQueryGen {
+ public:
+  KgQueryGen(const benchgen::BuiltKg& kg, uint64_t seed) : rng_(seed) {
+    for (const auto& [key, iri] : kg.predicates) predicates_.push_back(iri);
+    std::sort(predicates_.begin(), predicates_.end());
+    for (const auto& [key, facts] : kg.facts) {
+      for (const benchgen::Fact& fact : facts) {
+        entities_.push_back(fact.subject.iri);
+        if (!fact.subject.label.empty()) {
+          std::string word =
+              fact.subject.label.substr(0, fact.subject.label.find(' '));
+          if (!word.empty()) words_.push_back(std::move(word));
+        }
+        if (entities_.size() >= 400) break;
+      }
+      if (entities_.size() >= 400) break;
+    }
+    std::sort(entities_.begin(), entities_.end());
+    entities_.erase(std::unique(entities_.begin(), entities_.end()),
+                    entities_.end());
+    std::sort(words_.begin(), words_.end());
+    words_.erase(std::unique(words_.begin(), words_.end()), words_.end());
+  }
+
+  Query RandQuery() {
+    Query q;
+    q.where = RandGroup(1);
+    if (rng_.UniformInt(0, 9) == 0) {
+      q.form = Query::Form::kAsk;
+      return q;
+    }
+    q.form = Query::Form::kSelect;
+    q.distinct = rng_.UniformInt(0, 2) == 0;
+    if (rng_.UniformInt(0, 9) == 0) {
+      Aggregate agg;
+      agg.op = Aggregate::Op::kCount;
+      agg.distinct = rng_.UniformInt(0, 1) == 1;
+      agg.var = RandVar();
+      agg.alias = Var{"n"};
+      q.aggregates.push_back(agg);
+    } else if (rng_.UniformInt(0, 4) == 0) {
+      q.select_all = true;
+    } else {
+      int n_vars = static_cast<int>(rng_.UniformInt(1, 3));
+      for (int i = 0; i < n_vars; ++i) q.select_vars.push_back(RandVar());
+    }
+    if (q.aggregates.empty()) {
+      int n_keys = static_cast<int>(rng_.UniformInt(0, 2));
+      for (int i = 0; i < n_keys; ++i) {
+        q.order_by.push_back(OrderKey{RandVar(), rng_.UniformInt(0, 1) == 1});
+      }
+      q.limit = static_cast<size_t>(rng_.UniformInt(0, 20));
+      q.offset = static_cast<size_t>(rng_.UniformInt(0, 2));
+    }
+    return q;
+  }
+
+ private:
+  Var RandVar() {
+    static const char* const kVars[] = {"a", "b", "c", "d", "e"};
+    return Var{kVars[rng_.UniformInt(0, 4)]};
+  }
+  rdf::Term RandEntity() {
+    return rdf::Iri(entities_[rng_.UniformInt(
+        0, static_cast<int64_t>(entities_.size()) - 1)]);
+  }
+  rdf::Term RandPredicate() {
+    return rdf::Iri(predicates_[rng_.UniformInt(
+        0, static_cast<int64_t>(predicates_.size()) - 1)]);
+  }
+
+  TriplePattern RandPattern() {
+    // Shapes skewed toward wide scans and mixed selectivities: wildcard
+    // and predicate-only patterns exercise the broadcast kernel and give
+    // the planner something to reorder; ground-term patterns seed the
+    // selective entry points the plan should pick first.
+    switch (rng_.UniformInt(0, 9)) {
+      case 0:  // Full wildcard: the widest possible scan.
+        return TriplePattern{TermOrVar{RandVar()}, TermOrVar{RandVar()},
+                             TermOrVar{RandVar()}};
+      case 1:  // Ground subject.
+        return TriplePattern{TermOrVar{RandEntity()},
+                             TermOrVar{RandPredicate()}, TermOrVar{RandVar()}};
+      case 2:  // Ground object.
+        return TriplePattern{TermOrVar{RandVar()}, TermOrVar{RandPredicate()},
+                             TermOrVar{RandEntity()}};
+      case 3:  // Variable predicate between variables and an entity.
+        return TriplePattern{TermOrVar{RandVar()}, TermOrVar{RandVar()},
+                             TermOrVar{RandEntity()}};
+      default:  // Predicate scan: ?x <p> ?y — the common join edge.
+        return TriplePattern{TermOrVar{RandVar()}, TermOrVar{RandPredicate()},
+                             TermOrVar{RandVar()}};
+    }
+  }
+
+  GroupGraphPattern RandGroup(int depth) {
+    GroupGraphPattern g;
+    int n_triples = static_cast<int>(rng_.UniformInt(1, 3));
+    for (int i = 0; i < n_triples; ++i) g.triples.push_back(RandPattern());
+    if (!words_.empty() && rng_.UniformInt(0, 9) == 0) {
+      g.text_patterns.push_back(TextPattern{
+          RandVar(), words_[rng_.UniformInt(
+                         0, static_cast<int64_t>(words_.size()) - 1)]});
+    }
+    if (rng_.UniformInt(0, 9) < 2) {
+      InlineValues iv;
+      iv.var = RandVar();
+      int n_values = static_cast<int>(rng_.UniformInt(1, 3));
+      for (int i = 0; i < n_values; ++i) iv.values.push_back(RandEntity());
+      g.values.push_back(std::move(iv));
+    }
+    if (rng_.UniformInt(0, 9) < 2) {
+      Expr e;
+      e.op = ExprOp::kIsIri;
+      Expr leaf;
+      leaf.op = ExprOp::kVar;
+      leaf.var = RandVar();
+      e.lhs = std::make_unique<Expr>(std::move(leaf));
+      g.filters.push_back(std::move(e));
+    }
+    if (depth > 0) {
+      if (rng_.UniformInt(0, 9) < 3) {
+        std::vector<GroupGraphPattern> branches;
+        int n_branches = static_cast<int>(rng_.UniformInt(1, 2));
+        for (int i = 0; i < n_branches; ++i) {
+          branches.push_back(RandGroup(depth - 1));
+        }
+        g.unions.push_back(std::move(branches));
+      }
+      if (rng_.UniformInt(0, 9) < 2) {
+        g.optionals.push_back(RandGroup(depth - 1));
+      }
+    }
+    return g;
+  }
+
+  util::Rng rng_;
+  std::vector<std::string> predicates_;
+  std::vector<std::string> entities_;
+  std::vector<std::string> words_;
+};
+
+std::string DumpResults(const ResultSet& rs) {
+  if (rs.is_ask()) return rs.ask_value() ? "ASK true" : "ASK false";
+  std::string out;
+  for (const std::string& c : rs.columns()) out += "?" + c + " ";
+  out += "\n";
+  for (const auto& row : rs.rows()) {
+    for (const auto& cell : row) {
+      out += cell.has_value() ? rdf::ToNTriples(*cell) : std::string("_");
+      out += " ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+::testing::AssertionResult SameResults(const ResultSet& a,
+                                       const ResultSet& b) {
+  if (a.is_ask() == b.is_ask() && a.ask_value() == b.ask_value() &&
+      a.columns() == b.columns() && a.rows() == b.rows()) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << "serial:\n" << DumpResults(a)
+                                       << "other mode:\n" << DumpResults(b);
+}
+
+// One evaluation lane: a (threads, batch_size, vectorized) point of the
+// mode lattice.  threads > 1 lanes force sharding on the tiny test KGs.
+struct Lane {
+  const char* name;
+  size_t threads;
+  util::ThreadPool* pool;
+  bool vectorized;
+  size_t batch_size;
+};
+
+EvalOptions LaneOptions(const EvalOptions& base, const Lane& lane) {
+  EvalOptions opts = base;
+  opts.intra_query_threads = lane.threads;
+  opts.eval_pool = lane.pool;
+  opts.vectorized = lane.vectorized;
+  if (lane.batch_size > 0) opts.batch_size = lane.batch_size;
+  if (lane.threads > 1) {
+    // Force sharding on these deliberately tiny KGs.
+    opts.min_shard_work = 0;
+    opts.min_morsel_triples = 1;
+  }
+  return opts;
+}
+
+benchgen::BuiltKg BuildKgForRound(int round, uint64_t seed) {
+  // Alternate the two benchmark KG families (general / scholarly) so both
+  // data shapes hit every mode.
+  switch (round % 3) {
+    case 0:
+      return benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05,
+                                      seed);
+    case 1:
+      return benchgen::BuildScholarlyKg(benchgen::KgFlavor::kDblp, 0.05,
+                                        seed);
+    default:
+      return benchgen::BuildGeneralKg(benchgen::KgFlavor::kYago, 0.05, seed);
+  }
+}
+
+TEST(EvalDifferentialPropertyTest, AllModesByteIdentical) {
+  constexpr int kKgRounds = 2;
+  constexpr int kCasesPerKg = 24;
+  // Shared pools sized so the querying thread plus the pool's workers add
+  // up to the advertised thread count (see Endpoint::set_intra_query_threads).
+  util::ThreadPool pool2(1), pool8(7);
+  const size_t kBatchSizes[] = {1, 7, 1024};
+  std::vector<Lane> lanes;
+  // Pure vectorized at every batch size (serial thread count).
+  for (size_t b : kBatchSizes) {
+    lanes.push_back(Lane{"vectorized", 1, nullptr, true, b});
+  }
+  // Pure sharded row path (the PR-5 baseline, re-checked against the
+  // extracted planner).
+  lanes.push_back(Lane{"sharded", 2, &pool2, false, 0});
+  lanes.push_back(Lane{"sharded", 8, &pool8, false, 0});
+  // Sharded + vectorized composition at every (threads, batch) point.
+  for (size_t b : kBatchSizes) {
+    lanes.push_back(Lane{"sharded+vectorized", 2, &pool2, true, b});
+    lanes.push_back(Lane{"sharded+vectorized", 8, &pool8, true, b});
+  }
+
+  const size_t kRowCaps[] = {7, 50, 100000};
+  util::Rng master(g_property_seed);
+  for (int round = 0; round < kKgRounds; ++round) {
+    uint64_t round_seed = master.Next();
+    benchgen::BuiltKg kg = BuildKgForRound(round, round_seed);
+    KgQueryGen gen(kg, round_seed);
+    Endpoint ep("eval-diff", std::move(kg.graph));
+    for (int c = 0; c < kCasesPerKg; ++c) {
+      Query query = gen.RandQuery();
+      EvalOptions serial;
+      serial.max_rows = kRowCaps[master.Next() % 3];
+      SCOPED_TRACE("seed " + std::to_string(g_property_seed) + " round " +
+                   std::to_string(round) + " case " + std::to_string(c) +
+                   " max_rows " + std::to_string(serial.max_rows) +
+                   "\nquery:\n" + ToSparql(query));
+      auto reference = Evaluate(query, ep.store(), ep.text_index(), serial);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      for (const Lane& lane : lanes) {
+        auto got = Evaluate(query, ep.store(), ep.text_index(),
+                            LaneOptions(serial, lane));
+        ASSERT_TRUE(got.ok())
+            << lane.name << " threads=" << lane.threads
+            << " batch=" << lane.batch_size << ": " << got.status();
+        EXPECT_TRUE(SameResults(*reference, *got))
+            << lane.name << " threads=" << lane.threads
+            << " batch=" << lane.batch_size;
+      }
+    }
+  }
+}
+
+// The max_rows cap is the subtle part of batch determinism: the serial
+// loop stops at the first max_rows extensions in (row, index) order, so a
+// vectorized kernel — and a sharded one slicing the same scan — must
+// truncate at exactly the same prefix even when the cap lands mid-batch.
+// Sweep caps through and around a full wildcard scan's result count with
+// batch sizes that straddle the cap.
+TEST(EvalDifferentialPropertyTest, RowCapTruncatesIdenticallyInEveryMode) {
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 77);
+  Endpoint ep("eval-diff-cap", std::move(kg.graph));
+  util::ThreadPool pool(6);
+
+  Query query;
+  query.form = Query::Form::kSelect;
+  query.select_all = true;
+  query.where.triples.push_back(TriplePattern{
+      TermOrVar{Var{"s"}}, TermOrVar{Var{"p"}}, TermOrVar{Var{"o"}}});
+  query.where.triples.push_back(TriplePattern{
+      TermOrVar{Var{"o"}}, TermOrVar{Var{"q"}}, TermOrVar{Var{"t"}}});
+
+  const size_t total = ep.store().size();
+  for (size_t cap : {size_t{1}, size_t{2}, size_t{17}, size_t{256},
+                     total - 1, total, total + 1}) {
+    EvalOptions serial;
+    serial.max_rows = cap;
+    auto reference = Evaluate(query, ep.store(), ep.text_index(), serial);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{1024}}) {
+      Lane vec{"vectorized", 1, nullptr, true, batch};
+      auto got_vec = Evaluate(query, ep.store(), ep.text_index(),
+                              LaneOptions(serial, vec));
+      ASSERT_TRUE(got_vec.ok()) << got_vec.status();
+      EXPECT_TRUE(SameResults(*reference, *got_vec))
+          << "cap=" << cap << " batch=" << batch;
+
+      Lane both{"sharded+vectorized", 7, &pool, true, batch};
+      auto got_both = Evaluate(query, ep.store(), ep.text_index(),
+                               LaneOptions(serial, both));
+      ASSERT_TRUE(got_both.ok()) << got_both.status();
+      EXPECT_TRUE(SameResults(*reference, *got_both))
+          << "cap=" << cap << " batch=" << batch << " threads=7";
+    }
+  }
+}
+
+// Answer-cache runs: the cache keys on the canonical AST, which never
+// looks at EvalOptions, so a cache populated by the serial path must serve
+// byte-identical answers to every other mode (and vice versa).  Store the
+// serial result under the canonical key / canonical column names, then
+// check the positional hit translation equals each mode's own evaluation.
+TEST(EvalDifferentialPropertyTest, AnswerCacheHitsAreModeIndependent) {
+  util::Rng master(g_property_seed ^ 0xCACEu);
+  benchgen::BuiltKg kg = benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia,
+                                                  0.05, master.Next());
+  KgQueryGen gen(kg, master.Next());
+  Endpoint ep("eval-diff-cache", std::move(kg.graph));
+  util::ThreadPool pool(7);
+  core::AnswerCache cache(256);
+
+  const Lane kLanes[] = {
+      {"vectorized", 1, nullptr, true, 1},
+      {"vectorized", 1, nullptr, true, 1024},
+      {"sharded", 8, &pool, false, 0},
+      {"sharded+vectorized", 8, &pool, true, 7},
+  };
+
+  int cached_cases = 0;
+  for (int c = 0; c < 40 && cached_cases < 12; ++c) {
+    Query query = gen.RandQuery();
+    CanonicalForm form = Canonicalize(query);
+    if (!form.cacheable || query.form == Query::Form::kAsk) continue;
+    ++cached_cases;
+    SCOPED_TRACE("seed " + std::to_string(g_property_seed) + " case " +
+                 std::to_string(c) + "\nquery:\n" + ToSparql(query));
+
+    EvalOptions serial;
+    auto reference = Evaluate(query, ep.store(), ep.text_index(), serial);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    // Engine discipline: store under canonical column names.
+    cache.Put(form.key, ep.cache_identity(),
+              std::make_shared<const ResultSet>(
+                  reference->WithColumns(form.projection_canonical)));
+
+    for (const Lane& lane : kLanes) {
+      auto direct = Evaluate(query, ep.store(), ep.text_index(),
+                             LaneOptions(serial, lane));
+      ASSERT_TRUE(direct.ok()) << lane.name << ": " << direct.status();
+      // The canonical key is computed from the AST alone, so every mode
+      // looks up the same entry...
+      std::shared_ptr<const ResultSet> hit =
+          cache.Get(form.key, ep.cache_identity());
+      ASSERT_NE(hit, nullptr) << lane.name;
+      // ...and the serial-populated value must match the mode's own
+      // evaluation byte for byte after positional column translation.
+      ResultSet translated = hit->WithColumns(form.projection_original);
+      EXPECT_TRUE(SameResults(translated, *direct)) << lane.name;
+    }
+  }
+  EXPECT_GE(cached_cases, 4) << "generator produced too few cacheable queries";
+  EXPECT_GE(cache.stats().hits, static_cast<size_t>(cached_cases) * 4);
+}
+
+}  // namespace
+}  // namespace kgqan::sparql
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  uint64_t seed = kgqan::sparql::g_property_seed;
+  if (const char* env = std::getenv("KGQAN_PROPERTY_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  kgqan::sparql::g_property_seed = seed;
+  std::printf("[property] seed=%llu  (repro: eval_differential_property_test "
+              "--seed=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  return RUN_ALL_TESTS();
+}
