@@ -9,18 +9,32 @@
 // endpoint is a remote SPARQL service, so a question's wall-clock is
 // dominated by network waits the workers can overlap even on one core.
 //
+// Introspection extras:
+//   --json=PATH       write the final metrics snapshot (the full
+//                     obs::ExpositionJson document) to PATH on exit.
+//   --sample-overhead run the head-sampling overhead comparison instead:
+//                     closed-loop throughput at the knee for sample-every
+//                     ∈ {0 (counters-only), 64, 8, 1}.
+//   --serve-s=N       smoke mode: serve a mixed workload (including
+//                     deadline-limited requests) for N seconds with the
+//                     admin listener up, printing "ADMIN port=..." so CI
+//                     can curl /metrics and /slow.  --admin-port=P binds a
+//                     fixed port (default ephemeral).
+//
 // Usage: bench_serving [scale] [--latency-ms=5] [--repeat=N]
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "serve/qa_server.h"
 #include "util/stopwatch.h"
@@ -55,10 +69,12 @@ struct LoadResult {
 LoadResult RunClosedLoop(const kgqan::core::KgqanEngine& engine,
                          kgqan::sparql::Endpoint& endpoint,
                          const std::vector<std::string>& questions,
-                         size_t workers, size_t clients) {
+                         size_t workers, size_t clients,
+                         size_t sample_every = 64) {
   QaServerOptions options;
   options.num_workers = workers;
   options.queue_capacity = 2 * clients;  // Clients self-throttle; no shed.
+  options.trace_sample_every = sample_every;
   QaServer server(&engine, &endpoint, options);
 
   std::vector<std::vector<double>> per_client(clients);
@@ -122,6 +138,59 @@ LoadResult RunOpenLoop(const kgqan::core::KgqanEngine& engine,
   return result;
 }
 
+void DumpMetricsJson(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  out << kgqan::obs::ExpositionJson(
+             kgqan::obs::MetricsRegistry::Global().Snapshot())
+      << "\n";
+  std::printf("metrics snapshot written to %s\n", path.c_str());
+}
+
+// Smoke mode for CI: serve a mixed workload — normal questions plus a
+// slice with near-impossible deadlines, so deadline_exceeded flight
+// records accumulate — with the admin listener bound, for `seconds`.
+int RunServeSmoke(const kgqan::core::KgqanEngine& engine,
+                  kgqan::sparql::Endpoint& endpoint,
+                  const std::vector<std::string>& questions, int admin_port,
+                  double seconds, const std::string& json_path) {
+  QaServerOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 32;
+  options.trace_sample_every = 4;  // Sampled traces show up fast.
+  options.trace_sample_per_sec = 64.0;
+  options.slow_question_ms = 50.0;
+  options.admin_port = admin_port;
+  QaServer server(&engine, &endpoint, options);
+  if (server.admin_port() <= 0) {
+    std::fprintf(stderr, "admin listener failed to bind\n");
+    return 1;
+  }
+  std::printf("ADMIN port=%d\n", server.admin_port());
+  std::fflush(stdout);
+
+  kgqan::util::Stopwatch wall;
+  size_t i = 0;
+  while (wall.ElapsedMillis() < seconds * 1000.0) {
+    const std::string& q = questions[i % questions.size()];
+    // Every 5th request gets a ~1 ms deadline: guaranteed
+    // deadline_exceeded records for /slow.
+    double deadline_ms = i % 5 == 4 ? 1.0 : 0.0;
+    auto response = server.Ask(q, deadline_ms);
+    (void)response;
+    ++i;
+  }
+  server.Drain();
+  QaServerStats stats = server.stats();
+  std::printf("smoke: completed=%zu deadline_exceeded=%zu "
+              "traces_sampled=%zu flight_records=%zu\n",
+              stats.completed, stats.deadline_exceeded, stats.traces_sampled,
+              stats.flight_records);
+  DumpMetricsJson(json_path);
+  server.Shutdown();
+  return 0;
+}
+
 void PrintRow(const char* load, size_t workers, const LoadResult& r) {
   double completed = static_cast<double>(r.stats.completed);
   std::printf("%-18s %7zu %9.1f %8zu %8zu %9.1f %9.1f %9.1f\n", load,
@@ -154,6 +223,58 @@ int main(int argc, char** argv) {
   cfg.qu.inference.enabled = false;  // Keep the bench endpoint-bound.
   cfg.num_threads = 1;  // Concurrency comes from server workers.
   core::KgqanEngine engine(cfg);
+
+  std::string json_path = bench::ParseFlag(argc, argv, "json");
+  std::string serve_s_flag = bench::ParseFlag(argc, argv, "serve-s");
+  if (!serve_s_flag.empty()) {
+    std::string port_flag = bench::ParseFlag(argc, argv, "admin-port");
+    int admin_port = port_flag.empty() ? 0 : std::stoi(port_flag);
+    return RunServeSmoke(engine, *bench.endpoint, questions, admin_port,
+                         std::stod(serve_s_flag), json_path);
+  }
+
+  bool sample_overhead = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--sample-overhead") sample_overhead = true;
+  }
+  if (sample_overhead) {
+    // Head-sampling overhead at the closed-loop knee (8 workers): 0
+    // disables sampling entirely (counters-only baseline); the rest
+    // upgrade every Nth request to a full span tree, subject to the
+    // default per-second rate cap.
+    std::printf("Head-sampling overhead — closed loop, 8 workers\n");
+    bench::PrintRule(84);
+    std::printf("%-18s %7s %9s %8s %8s %9s %9s %9s\n", "Sampling", "Workers",
+                "qps", "done", "shed", "p50 ms", "p95 ms", "p99 ms");
+    bench::PrintRule(84);
+    double baseline_qps = 0.0;
+    for (size_t every : {0, 64, 8, 1}) {
+      obs::MetricsRegistry::Global().Reset();
+      LoadResult r = RunClosedLoop(engine, *bench.endpoint, questions,
+                                   /*workers=*/8, /*clients=*/16, every);
+      char label[32];
+      if (every == 0) {
+        std::snprintf(label, sizeof(label), "counters-only");
+      } else {
+        std::snprintf(label, sizeof(label), "1-in-%zu", every);
+      }
+      PrintRow(label, 8, r);
+      double qps = r.wall_s > 0.0
+                       ? static_cast<double>(r.stats.completed) / r.wall_s
+                       : 0.0;
+      if (every == 0) {
+        baseline_qps = qps;
+      } else if (baseline_qps > 0.0) {
+        std::printf("  -> %5.2f%% of counters-only throughput "
+                    "(sampled %zu traces, %zu flight records)\n",
+                    100.0 * qps / baseline_qps, r.stats.traces_sampled,
+                    r.stats.flight_records);
+      }
+    }
+    bench::PrintRule(84);
+    DumpMetricsJson(json_path);
+    return 0;
+  }
 
   std::printf("Serving throughput & tail latency — LC-QuAD, %zu requests, "
               "%.1f ms injected endpoint RTT\n",
@@ -196,5 +317,6 @@ int main(int argc, char** argv) {
   bench::PrintRule(84);
   std::printf("closed-loop scaling 8w/1w: %.2fx\n",
               qps_1 > 0.0 ? qps_8 / qps_1 : 0.0);
+  DumpMetricsJson(json_path);
   return 0;
 }

@@ -129,6 +129,15 @@ struct KgqanConfig {
   // costs nothing outside the serving front-end.
   bool cooperative_cancellation = true;
 
+  // EXPLAIN ANALYZE (not a paper parameter): collect per-operator runtime
+  // statistics — rows in/out, planner cardinality estimate vs. actual,
+  // kernel choice, batches — for every executed candidate query into
+  // KgqanResult::candidates[i].operators, rendered by core::Explain.
+  // Off (default) collects only for requests whose trace records spans
+  // (sampled requests under the serving front-end), so saturated serving
+  // pays nothing; on, every request collects.
+  bool explain_analyze = false;
+
   // Question-understanding model variant (Table 4 ablation).
   qu::TriplePatternGenerator::Options qu;
 

@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "obs/trace.h"
@@ -95,10 +97,27 @@ std::string Explain(const KgqanResult& result) {
            util::FormatDouble(c.score, 2) + "  " +
            util::FormatDouble(c.latency_ms, 1) + " ms  " +
            std::to_string(c.rows) + (c.rows == 1 ? " row\n" : " rows\n");
+    // EXPLAIN ANALYZE: per-operator plan execution, estimate vs. actual.
+    for (const sparql::OperatorStats& op : c.operators) {
+      out += "     step " + std::to_string(op.order) + ": pattern " +
+             std::to_string(op.pattern) + "  " + op.kernel + "  est " +
+             std::to_string(op.estimate) + "  rows " +
+             std::to_string(op.rows_in) + " -> " +
+             std::to_string(op.rows_out);
+      if (op.batches > 0) out += "  batches " + std::to_string(op.batches);
+      if (op.morsels > 0) out += "  morsels " + std::to_string(op.morsels);
+      out += "  " + util::FormatDouble(op.ms, 2) + " ms\n";
+    }
   }
   out += "linking:     " + std::to_string(result.linking_requests) +
          " requests in " + std::to_string(result.linking_round_trips) +
          " round trips\n";
+  if (result.trace_id != 0) {
+    char trace_hex[24];
+    std::snprintf(trace_hex, sizeof(trace_hex), "%016llx",
+                  static_cast<unsigned long long>(result.trace_id));
+    out += "trace:       " + std::string(trace_hex) + "\n";
+  }
   if (result.response.is_boolean) {
     out += std::string("answer:      ") +
            (result.response.boolean_answer ? "true" : "false") + "\n";
@@ -194,9 +213,17 @@ std::vector<rdf::Term> KgqanEngine::RunSelectCandidate(
     }
     return answers;
   };
+  // EXPLAIN ANALYZE: bind an operator-stats sink around the candidate's
+  // evaluation when asked for explicitly or when this question's trace is
+  // recording spans (sampled requests get operator detail for free).
+  sparql::EvalProfile profile;
+  std::optional<sparql::ScopedEvalProfile> analyze;
+  if (config_.explain_analyze || span.recording()) analyze.emplace(&profile);
   bool cache_hit = false;
   auto rs = ExecuteCandidateQuery(BgpGenerator::ToSelectSparql(bgp, var),
                                   endpoint, &cache_hit);
+  analyze.reset();
+  stats->operators = std::move(profile.operators);
   if (span.recording() && answer_cache_ != nullptr) {
     span.AddAttribute("answer_cache", cache_hit ? "hit" : "miss");
   }
@@ -263,9 +290,16 @@ void KgqanEngine::ExecuteAskCandidates(const std::vector<Bgp>& bgps,
     obs::ScopedSpan span("execution.candidate");
     if (span.recording()) span.AddAttribute("rank", std::to_string(rank));
     stats->executed = true;
+    sparql::EvalProfile profile;
+    std::optional<sparql::ScopedEvalProfile> analyze;
+    if (config_.explain_analyze || span.recording()) {
+      analyze.emplace(&profile);
+    }
     bool cache_hit = false;
     auto rs = ExecuteCandidateQuery(BgpGenerator::ToAskSparql(bgp), endpoint,
                                     &cache_hit);
+    analyze.reset();
+    stats->operators = std::move(profile.operators);
     if (span.recording() && answer_cache_ != nullptr) {
       span.AddAttribute("answer_cache", cache_hit ? "hit" : "miss");
     }
@@ -416,6 +450,9 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
   root.AddAttribute("question", question);
 
   KgqanResult result;
+  // Surface the span-recording trace's id so callers (serving front-end,
+  // flight recorder, logs) can correlate this response with its trace.
+  if (trace->spans_enabled()) result.trace_id = trace->id();
 
   // ---- Phase 1: question understanding (KG-independent). ----
   {
@@ -486,6 +523,11 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
   };
 
   if (result.response.is_boolean) {
+    // Record the top candidate's SPARQL up front — before execution, which
+    // a deadline may truncate — so slow-question forensics always see it.
+    if (!bgps.empty()) {
+      result.top_sparql = BgpGenerator::ToAskSparql(bgps.front());
+    }
     ExecuteAskCandidates(bgps, endpoint, &result);
     finish_execution();
     return result;
@@ -500,6 +542,9 @@ KgqanResult KgqanEngine::AnswerFull(const std::string& question,
   // positive on inlined small-string concatenation.
   std::string var = "u";
   var += std::to_string(result.pgp.nodes()[*main_unknown].var_id);
+  if (!bgps.empty()) {
+    result.top_sparql = BgpGenerator::ToSelectSparql(bgps.front(), var);
+  }
   ExecuteSelectCandidates(bgps, var, endpoint, &result);
   finish_execution();
   return result;

@@ -23,6 +23,7 @@
 #include "qu/pgp.h"
 #include "qu/triple_pattern_generator.h"
 #include "sparql/endpoint.h"
+#include "sparql/evaluator.h"
 #include "util/thread_pool.h"
 
 namespace kgqan::core {
@@ -36,6 +37,11 @@ struct CandidateQueryStats {
   bool executed = false;
   double latency_ms = 0.0;
   size_t rows = 0;  // Surviving answers (SELECT) or 1/0 (ASK held or not).
+  // EXPLAIN ANALYZE: per-operator runtime stats of the candidate's
+  // evaluation, in execution order.  Populated when Config::explain_analyze
+  // is on or the question's trace records spans; empty otherwise (and on
+  // answer-cache hits, which evaluate nothing).
+  std::vector<sparql::OperatorStats> operators;
 };
 
 // Full per-question result, including the intermediate artifacts the
@@ -60,6 +66,14 @@ struct KgqanResult {
   // was complete at that point — possibly no answers at all — and the
   // linking cache holds no entries produced after the expiry.
   bool deadline_exceeded = false;
+  // Id of the question's span-recording trace (0 when the request ran
+  // counters-only) — the handle that correlates a response with the
+  // serving front-end's flight recorder and trace dumps.
+  uint64_t trace_id = 0;
+  // SPARQL text of the top-ranked candidate query, set as soon as BGP
+  // generation produced one — even when the deadline then expires before
+  // execution — so slow-question forensics always have the query.
+  std::string top_sparql;
 };
 
 // Renders a human-readable trace of the pipeline for `result`: the PGP,

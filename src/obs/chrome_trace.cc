@@ -3,41 +3,11 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/json_util.h"
+
 namespace kgqan::obs {
 
 namespace {
-
-void AppendJsonString(std::string* out, std::string_view text) {
-  out->push_back('"');
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          *out += buffer;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
 
 std::string Micros(int64_t nanos) {
   char buffer[64];
@@ -47,17 +17,19 @@ std::string Micros(int64_t nanos) {
 
 }  // namespace
 
-void WriteChromeTrace(const Trace& trace, std::string_view process_name,
-                      uint32_t pid, std::ostream& out) {
+void WriteChromeProcessName(std::string_view process_name, uint32_t pid,
+                            std::ostream& out) {
   std::string line = "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
                      std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
   AppendJsonString(&line, process_name);
   line += "}}";
   out << line << "\n";
+}
 
-  const std::vector<SpanRecord> spans = trace.spans();
-  for (size_t i = 0; i < spans.size(); ++i) {
-    const SpanRecord& span = spans[i];
+void WriteChromeSpans(const std::vector<SpanRecord>& spans, uint32_t pid,
+                      std::string_view root_args_json, std::ostream& out) {
+  std::string line;
+  for (const SpanRecord& span : spans) {
     line = "{\"ph\":\"X\",\"name\":";
     AppendJsonString(&line, span.name);
     line += ",\"pid\":" + std::to_string(pid) +
@@ -73,19 +45,28 @@ void WriteChromeTrace(const Trace& trace, std::string_view process_name,
       line += ":";
       AppendJsonString(&line, value);
     }
-    // Root spans additionally carry the trace's exact per-trace counters,
-    // so the per-question endpoint traffic is visible in the viewer.
-    if (span.parent == kNoSpan) {
-      for (size_t c = 0; c < static_cast<size_t>(TraceCounter::kCount); ++c) {
-        if (!first) line += ",";
-        first = false;
-        AppendJsonString(&line, TraceCounterName(TraceCounter(c)));
-        line += ":" + std::to_string(trace.counter(TraceCounter(c)));
-      }
+    if (span.parent == kNoSpan && !root_args_json.empty()) {
+      if (!first) line += ",";
+      first = false;
+      line += root_args_json;
     }
     line += "}}";
     out << line << "\n";
   }
+}
+
+void WriteChromeTrace(const Trace& trace, std::string_view process_name,
+                      uint32_t pid, std::ostream& out) {
+  WriteChromeProcessName(process_name, pid, out);
+  // Root spans additionally carry the trace's exact per-trace counters, so
+  // the per-question endpoint traffic is visible in the viewer.
+  std::string root_args;
+  for (size_t c = 0; c < static_cast<size_t>(TraceCounter::kCount); ++c) {
+    if (!root_args.empty()) root_args += ",";
+    AppendJsonString(&root_args, TraceCounterName(TraceCounter(c)));
+    root_args += ":" + std::to_string(trace.counter(TraceCounter(c)));
+  }
+  WriteChromeSpans(trace.spans(), pid, root_args, out);
 }
 
 void WriteChromeTrace(const TraceCollector& collector, std::ostream& out) {

@@ -20,6 +20,17 @@
 
 namespace kgqan::obs {
 
+// Emits the "M" process_name metadata event for pid `pid`.
+void WriteChromeProcessName(std::string_view process_name, uint32_t pid,
+                            std::ostream& out);
+
+// Serializes a span snapshot as "X" events under pid `pid`.
+// `root_args_json`, when non-empty, is a pre-rendered JSON fragment
+// (`"key":value,...` without braces) spliced into the args of every root
+// span — how per-trace counters and flight-record metadata ride along.
+void WriteChromeSpans(const std::vector<SpanRecord>& spans, uint32_t pid,
+                      std::string_view root_args_json, std::ostream& out);
+
 // Serializes one trace as pid `pid` named `process_name`.
 void WriteChromeTrace(const Trace& trace, std::string_view process_name,
                       uint32_t pid, std::ostream& out);

@@ -1,0 +1,44 @@
+// Metrics exposition: renders a MetricsSnapshot for external consumers —
+// the Prometheus text format (v0.0.4) for scrapers and a self-describing
+// JSON document for dashboards, bench tooling, and the /stats endpoint.
+//
+// Metric names in the registry are dotted ("serve.queue_depth"); the
+// Prometheus renderer maps them into the legal name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* by prefixing "kgqan_" and replacing every
+// other character with '_'.  Counters gain the conventional "_total"
+// suffix; gauges emit the live value plus a "<name>_max" high-water
+// sample; histograms emit cumulative "_bucket{le="..."}" series with the
+// mandatory "+Inf" bucket, "_sum", and "_count".
+
+#ifndef KGQAN_OBS_EXPOSITION_H_
+#define KGQAN_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace kgqan::obs {
+
+// Registry name → Prometheus metric name ("serve.queue_depth" →
+// "kgqan_serve_queue_depth").  Exposed for tests and for consumers that
+// need to predict scrape names.
+std::string PrometheusName(std::string_view name);
+
+// The snapshot in Prometheus text exposition format, with # HELP / # TYPE
+// lines per metric family.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+// The snapshot as one JSON object:
+//   {"counters": {name: value, ...},
+//    "gauges": {name: {"value": v, "max": m}, ...},
+//    "histograms": {name: {"count", "sum", "mean", "min", "max",
+//                          "p50", "p90", "p95", "p99",
+//                          "buckets": [{"le": bound, "count": cum}, ...]}}}
+// Bucket counts are cumulative and end with the +Inf bucket, mirroring
+// the Prometheus rendering so the two surfaces cannot drift apart.
+std::string ExpositionJson(const MetricsSnapshot& snapshot);
+
+}  // namespace kgqan::obs
+
+#endif  // KGQAN_OBS_EXPOSITION_H_

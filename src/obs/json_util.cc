@@ -1,0 +1,105 @@
+#include "obs/json_util.h"
+
+#include <cstddef>
+#include <cstdio>
+
+namespace kgqan::obs {
+
+namespace {
+
+// Length of the valid UTF-8 sequence starting at text[i], or 0 when the
+// bytes there do not form one (overlong encodings, surrogates, values past
+// U+10FFFF, and truncated tails all return 0).  Table follows RFC 3629.
+size_t Utf8SequenceLength(std::string_view text, size_t i) {
+  const unsigned char b0 = static_cast<unsigned char>(text[i]);
+  if (b0 < 0x80) return 1;
+  auto cont = [&](size_t k, unsigned char lo, unsigned char hi) {
+    if (i + k >= text.size()) return false;
+    const unsigned char b = static_cast<unsigned char>(text[i + k]);
+    return b >= lo && b <= hi;
+  };
+  if (b0 >= 0xC2 && b0 <= 0xDF) {
+    return cont(1, 0x80, 0xBF) ? 2 : 0;
+  }
+  if (b0 == 0xE0) {
+    return cont(1, 0xA0, 0xBF) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  }
+  if ((b0 >= 0xE1 && b0 <= 0xEC) || b0 == 0xEE || b0 == 0xEF) {
+    return cont(1, 0x80, 0xBF) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  }
+  if (b0 == 0xED) {  // Excludes UTF-16 surrogates U+D800..U+DFFF.
+    return cont(1, 0x80, 0x9F) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  }
+  if (b0 == 0xF0) {
+    return cont(1, 0x90, 0xBF) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF)
+               ? 4
+               : 0;
+  }
+  if (b0 >= 0xF1 && b0 <= 0xF3) {
+    return cont(1, 0x80, 0xBF) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF)
+               ? 4
+               : 0;
+  }
+  if (b0 == 0xF4) {  // Caps the range at U+10FFFF.
+    return cont(1, 0x80, 0x8F) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF)
+               ? 4
+               : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  size_t i = 0;
+  while (i < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x80) {
+      switch (c) {
+        case '"':
+          *out += "\\\"";
+          break;
+        case '\\':
+          *out += "\\\\";
+          break;
+        case '\n':
+          *out += "\\n";
+          break;
+        case '\t':
+          *out += "\\t";
+          break;
+        case '\r':
+          *out += "\\r";
+          break;
+        default:
+          if (c < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", unsigned{c});
+            *out += buffer;
+          } else {
+            out->push_back(static_cast<char>(c));
+          }
+      }
+      ++i;
+      continue;
+    }
+    const size_t len = Utf8SequenceLength(text, i);
+    if (len == 0) {
+      *out += "\xEF\xBF\xBD";  // U+FFFD, one per rejected byte.
+      ++i;
+    } else {
+      out->append(text.data() + i, len);
+      i += len;
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonString(std::string_view text) {
+  std::string out;
+  AppendJsonString(&out, text);
+  return out;
+}
+
+}  // namespace kgqan::obs

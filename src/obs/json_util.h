@@ -1,0 +1,31 @@
+// Shared JSON string emission for every obs export surface (Chrome-trace
+// JSONL, metrics JSON, the exposition endpoints).  One escaper instead of
+// per-file copies, because question text — arbitrary user bytes — flows
+// into span attributes and must never produce invalid JSON.
+//
+// Guarantees of AppendJsonString:
+//  * Output is always a valid JSON string literal.
+//  * Control characters (U+0000..U+001F) and the JSON metacharacters are
+//    escaped (`\n`, `\t`, `\r`, `\"`, `\\`, else `\u00XX`).
+//  * Input is validated as UTF-8; every invalid byte sequence is replaced
+//    by U+FFFD (the replacement character), so downstream strict parsers
+//    — Prometheus scrapers, Perfetto, python json — accept the output.
+
+#ifndef KGQAN_OBS_JSON_UTIL_H_
+#define KGQAN_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace kgqan::obs {
+
+// Appends `text` to `*out` as a quoted JSON string literal (including the
+// surrounding double quotes).
+void AppendJsonString(std::string* out, std::string_view text);
+
+// Convenience wrapper returning the quoted literal.
+std::string JsonString(std::string_view text);
+
+}  // namespace kgqan::obs
+
+#endif  // KGQAN_OBS_JSON_UTIL_H_

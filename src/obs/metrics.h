@@ -39,7 +39,11 @@ class Counter {
 };
 
 // Instantaneous level (e.g. thread-pool queue depth) with a high-water
-// mark.  Add/Sub are relaxed; Max() is monotone under concurrency.
+// mark.  Add/Sub are relaxed; Max() is monotone between Resets and never
+// reads below the level concurrently observable via Value(): Sub routes
+// through Add so a negative delta still publishes the post-update level,
+// and Reset reseeds the high-water from the live value rather than zero,
+// so a Reset racing concurrent Adds cannot strand max_ below value_.
 class Gauge {
  public:
   void Add(int64_t delta) {
@@ -49,14 +53,20 @@ class Gauge {
            !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
     }
   }
-  void Sub(int64_t delta) {
-    value_.fetch_sub(delta, std::memory_order_relaxed);
-  }
+  void Sub(int64_t delta) { Add(-delta); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
-  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  // The high-water mark can lag the live value for one instruction while a
+  // racing Add publishes its CAS; clamping at read time keeps the reported
+  // mark ≥ Value() under every interleaving.
+  int64_t Max() const {
+    int64_t value = value_.load(std::memory_order_relaxed);
+    int64_t max = max_.load(std::memory_order_relaxed);
+    return max > value ? max : value;
+  }
   void Reset() {
     value_.store(0, std::memory_order_relaxed);
-    max_.store(0, std::memory_order_relaxed);
+    max_.store(value_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
   }
 
  private:

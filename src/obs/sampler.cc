@@ -1,0 +1,33 @@
+#include "obs/sampler.h"
+
+#include "obs/trace.h"
+
+namespace kgqan::obs {
+
+TraceSampler::TraceSampler(TraceSamplerOptions options) : options_(options) {}
+
+bool TraceSampler::Sample() {
+  if (options_.sample_every == 0) return false;
+  const uint64_t n = considered_.fetch_add(1, std::memory_order_relaxed);
+  if (n % options_.sample_every != 0) return false;
+  if (options_.max_sampled_per_sec > 0) {
+    const int64_t second = NanosSinceProcessEpoch() / 1'000'000'000;
+    int64_t seen = window_second_.load(std::memory_order_relaxed);
+    if (seen != second &&
+        window_second_.compare_exchange_strong(seen, second,
+                                               std::memory_order_relaxed)) {
+      // This thread advanced the window; restart its budget.
+      window_count_.store(0, std::memory_order_relaxed);
+    }
+    const uint64_t in_window =
+        window_count_.fetch_add(1, std::memory_order_relaxed);
+    if (double(in_window) >= options_.max_sampled_per_sec) {
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace kgqan::obs

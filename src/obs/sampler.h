@@ -1,0 +1,64 @@
+// Head sampling for always-on tracing: decides, at request admission, which
+// requests are upgraded from counters-only to a full span tree.  Two
+// composed gates keep the cost of tracing bounded on a saturated server:
+//
+//  1. deterministic 1-in-N (`sample_every`) — a relaxed atomic counter, so
+//     the sampled stream is evenly spaced rather than bursty;
+//  2. a per-second rate cap (`max_sampled_per_sec`) — a window counter
+//     reset on one-second boundaries, so a traffic spike cannot multiply
+//     the absolute tracing overhead even at a fixed ratio.
+//
+// Unsampled requests pay one fetch_add and a branch.  All state is
+// lock-free; Sample() is safe from any thread.
+
+#ifndef KGQAN_OBS_SAMPLER_H_
+#define KGQAN_OBS_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace kgqan::obs {
+
+struct TraceSamplerOptions {
+  // Sample every Nth request.  0 disables sampling entirely; 1 samples
+  // every request (subject to the rate cap).
+  uint64_t sample_every = 64;
+  // Hard cap on sampled requests per second; <= 0 means uncapped.
+  double max_sampled_per_sec = 32.0;
+};
+
+class TraceSampler {
+ public:
+  explicit TraceSampler(TraceSamplerOptions options = {});
+
+  TraceSampler(const TraceSampler&) = delete;
+  TraceSampler& operator=(const TraceSampler&) = delete;
+
+  // True when the current request should carry a full span tree.
+  bool Sample();
+
+  uint64_t considered() const {
+    return considered_.load(std::memory_order_relaxed);
+  }
+  uint64_t sampled() const { return sampled_.load(std::memory_order_relaxed); }
+  uint64_t rate_limited() const {
+    return rate_limited_.load(std::memory_order_relaxed);
+  }
+
+  const TraceSamplerOptions& options() const { return options_; }
+
+ private:
+  TraceSamplerOptions options_;
+  std::atomic<uint64_t> considered_{0};
+  std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> rate_limited_{0};
+  // Rate window: second index since the process epoch + samples admitted
+  // inside it.  The window is advanced by CAS; a lost race simply counts
+  // the sample against the winner's window, which only errs conservative.
+  std::atomic<int64_t> window_second_{-1};
+  std::atomic<uint64_t> window_count_{0};
+};
+
+}  // namespace kgqan::obs
+
+#endif  // KGQAN_OBS_SAMPLER_H_

@@ -27,6 +27,18 @@ uint32_t CurrentThreadIndex() {
   return index;
 }
 
+uint64_t Trace::NextTraceId() {
+  // splitmix64 of a process-wide counter: unique, cheap, and well-mixed so
+  // id prefixes (hex) are collision-resistant short handles.
+  static std::atomic<uint64_t> next{0};
+  uint64_t z = next.fetch_add(1, std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
 std::string_view TraceCounterName(TraceCounter counter) {
   switch (counter) {
     case TraceCounter::kEndpointRequests:

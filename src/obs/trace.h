@@ -84,12 +84,16 @@ class Trace {
     kCountersOnly,  // Counters attribute; BeginSpan is a no-op.
   };
 
-  explicit Trace(Mode mode = Mode::kFull) : mode_(mode) {}
+  explicit Trace(Mode mode = Mode::kFull) : mode_(mode), id_(NextTraceId()) {}
 
   Trace(const Trace&) = delete;
   Trace& operator=(const Trace&) = delete;
 
   bool spans_enabled() const { return mode_ == Mode::kFull; }
+
+  // Process-unique, non-zero 64-bit id (well-mixed so prefixes are usable
+  // as short handles in logs and the flight recorder).
+  uint64_t id() const { return id_; }
 
   // Opens a span; returns its index, or kNoSpan in counters-only mode.
   // Thread-safe: concurrent workers of one question open sibling spans.
@@ -114,7 +118,10 @@ class Trace {
   size_t FindSpan(std::string_view name) const;
 
  private:
+  static uint64_t NextTraceId();
+
   Mode mode_;
+  uint64_t id_;
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
   std::array<std::atomic<uint64_t>, static_cast<size_t>(TraceCounter::kCount)>

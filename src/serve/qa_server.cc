@@ -1,10 +1,29 @@
 #include "serve/qa_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
+#include "obs/exposition.h"
+#include "sparql/canonical.h"
+#include "sparql/parser.h"
+
 namespace kgqan::serve {
+
+namespace {
+
+// The canonical form of the candidate SPARQL, for cross-question
+// correlation in flight records; the raw text stands in when it does not
+// parse (it always should — BgpGenerator rendered it).
+std::string CanonicalSparql(const std::string& sparql_text) {
+  if (sparql_text.empty()) return std::string();
+  auto parsed = sparql::ParseQuery(sparql_text);
+  if (!parsed.ok()) return sparql_text;
+  return sparql::Canonicalize(*parsed).key;
+}
+
+}  // namespace
 
 QaServer::QaServer(std::vector<const core::KgqanEngine*> engines,
                    sparql::Endpoint* endpoint, QaServerOptions options)
@@ -23,6 +42,22 @@ QaServer::QaServer(std::vector<const core::KgqanEngine*> engines,
   metric_deadline_exceeded_ = &registry.GetCounter("serve.deadline_exceeded");
   metric_queue_wait_ms_ = &registry.GetHistogram("serve.queue_wait_ms");
   metric_e2e_ms_ = &registry.GetHistogram("serve.e2e_ms");
+  metric_traces_sampled_ = &registry.GetCounter("serve.traces_sampled");
+  metric_flight_records_ =
+      &registry.GetCounter("serve.flight_recorder.recorded");
+
+  if (options_.trace_sample_every > 0) {
+    obs::TraceSamplerOptions sampler_options;
+    sampler_options.sample_every = options_.trace_sample_every;
+    sampler_options.max_sampled_per_sec = options_.trace_sample_per_sec;
+    sampler_ = std::make_unique<obs::TraceSampler>(sampler_options);
+  }
+  if (options_.flight_recorder_capacity > 0) {
+    obs::FlightRecorderOptions recorder_options;
+    recorder_options.capacity = options_.flight_recorder_capacity;
+    recorder_options.slow_threshold_ms = options_.slow_question_ms;
+    recorder_ = std::make_unique<obs::FlightRecorder>(recorder_options);
+  }
 
   // Apply the engines' endpoint-side configuration (intra-query sharding,
   // vectorized evaluation) before any worker can pick up a request: this
@@ -37,6 +72,15 @@ QaServer::QaServer(std::vector<const core::KgqanEngine*> engines,
   workers_.reserve(num_workers);
   for (size_t w = 0; w < num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+
+  if (options_.admin_port >= 0) {
+    // Best-effort: a bind failure (port taken) leaves admin_port() == 0
+    // rather than failing the whole server.
+    (void)admin_.Start(options_.admin_port,
+                       [this](const std::string& path) {
+                         return HandleAdmin(path);
+                       });
   }
 }
 
@@ -95,6 +139,15 @@ void QaServer::WorkerLoop(size_t worker_index) {
         options_.collector != nullptr
             ? options_.collector->StartTrace(request->question)
             : nullptr;
+    // Head sampling: upgrade this request from counters-only to a full
+    // span tree.  The trace lives on the worker's stack — its spans are
+    // copied into a flight record if the request qualifies, then dropped.
+    std::optional<obs::Trace> sampled_trace;
+    if (trace == nullptr && sampler_ != nullptr && sampler_->Sample()) {
+      sampled_trace.emplace(obs::Trace::Mode::kFull);
+      trace = &*sampled_trace;
+      metric_traces_sampled_->Add(1);
+    }
     if (request->token.Cancelled()) {
       // The deadline expired while the request sat in the queue: answer
       // DeadlineExceeded without touching the engine at all.
@@ -109,6 +162,7 @@ void QaServer::WorkerLoop(size_t worker_index) {
     }
     response.total_ms = request->admitted.ElapsedMillis();
     metric_e2e_ms_->Record(response.total_ms);
+    MaybeRecordFlight(response, trace);
     completed_.fetch_add(1, std::memory_order_relaxed);
     metric_completed_->Add(1);
     if (response.deadline_exceeded) {
@@ -142,9 +196,83 @@ void QaServer::Drain() {
 void QaServer::Shutdown() {
   Drain();
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  admin_.Shutdown();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+}
+
+void QaServer::MaybeRecordFlight(const QaServerResponse& response,
+                                 const obs::Trace* trace) {
+  if (recorder_ == nullptr) return;
+  if (!recorder_->ShouldRecord(response.total_ms,
+                               response.deadline_exceeded)) {
+    return;
+  }
+  auto record = std::make_shared<obs::FlightRecord>();
+  record->trace_id = response.result.trace_id;
+  record->question = response.question;
+  record->status = response.deadline_exceeded ? "deadline_exceeded" : "ok";
+  record->queue_ms = response.queue_ms;
+  record->total_ms = response.total_ms;
+  record->canonical_sparql = CanonicalSparql(response.result.top_sparql);
+  record->linking_requests = response.result.linking_requests;
+  record->linking_round_trips = response.result.linking_round_trips;
+  if (trace != nullptr && trace->spans_enabled()) {
+    record->spans = trace->spans();
+  }
+  recorder_->Record(std::move(record));
+  metric_flight_records_->Add(1);
+}
+
+AdminResponse QaServer::HandleAdmin(const std::string& path) const {
+  AdminResponse response;
+  if (path == "/healthz") {
+    response.body = "ok\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        obs::PrometheusText(obs::MetricsRegistry::Global().Snapshot());
+    return response;
+  }
+  if (path == "/stats") {
+    QaServerStats server_stats = stats();
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\"server\":{\"admitted\":%zu,\"rejected_overloaded\":%zu,"
+        "\"rejected_unavailable\":%zu,\"completed\":%zu,"
+        "\"deadline_exceeded\":%zu,\"queue_depth\":%zu,"
+        "\"answer_cache_hits\":%zu,\"answer_cache_misses\":%zu,"
+        "\"traces_sampled\":%zu,\"flight_records\":%zu},"
+        "\"metrics\":",
+        server_stats.admitted, server_stats.rejected_overloaded,
+        server_stats.rejected_unavailable, server_stats.completed,
+        server_stats.deadline_exceeded, server_stats.queue_depth,
+        server_stats.answer_cache_hits, server_stats.answer_cache_misses,
+        server_stats.traces_sampled, server_stats.flight_records);
+    response.content_type = "application/json; charset=utf-8";
+    response.body = buffer;
+    response.body +=
+        obs::ExpositionJson(obs::MetricsRegistry::Global().Snapshot());
+    response.body += "}";
+    return response;
+  }
+  if (path == "/slow") {
+    if (recorder_ == nullptr) {
+      response.status = 404;
+      response.body = "flight recorder disabled\n";
+      return response;
+    }
+    response.content_type = "application/x-ndjson; charset=utf-8";
+    response.body = recorder_->ChromeJsonl();
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found\n";
+  return response;
 }
 
 QaServerStats QaServer::stats() const {
@@ -172,6 +300,8 @@ QaServerStats QaServer::stats() const {
     stats.answer_cache_evictions += cache_stats.evictions;
     stats.answer_cache_entries += cache_stats.entries;
   }
+  if (sampler_ != nullptr) stats.traces_sampled = sampler_->sampled();
+  if (recorder_ != nullptr) stats.flight_records = recorder_->recorded();
   return stats;
 }
 

@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -42,8 +43,11 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
+#include "serve/admin_http.h"
 #include "serve/bounded_queue.h"
 #include "sparql/endpoint.h"
 #include "util/cancel.h"
@@ -66,8 +70,30 @@ struct QaServerOptions {
   double default_deadline_ms = 0.0;
 
   // When set, every request records a full span tree into the collector
-  // (expensive; meant for debugging, not saturated serving).
+  // (expensive; meant for debugging, not saturated serving).  Takes
+  // precedence over sampled tracing below.
   obs::TraceCollector* collector = nullptr;
+
+  // Always-on head-sampled tracing: every trace_sample_every-th request is
+  // upgraded from counters-only to a full span tree (capped at
+  // trace_sample_per_sec upgrades per second), its trace id surfaced in
+  // KgqanResult::trace_id and its spans retained by the flight recorder
+  // when the request qualifies.  0 disables sampling; unsampled requests
+  // pay one relaxed fetch_add.
+  size_t trace_sample_every = 64;
+  double trace_sample_per_sec = 32.0;
+
+  // Slow-question flight recorder: ring capacity (0 disables) and the
+  // latency above which a completed request is retained.  Failed /
+  // deadline-exceeded requests are always retained; <= 0 retains every
+  // request (tests).
+  size_t flight_recorder_capacity = 32;
+  double slow_question_ms = 250.0;
+
+  // Admin introspection listener on 127.0.0.1 (/metrics, /healthz,
+  // /stats, /slow): port to bind, 0 = ephemeral (read back via
+  // admin_port()), < 0 = no listener (default).
+  int admin_port = -1;
 };
 
 struct QaServerResponse {
@@ -100,6 +126,8 @@ struct QaServerStats {
   size_t answer_cache_misses = 0;
   size_t answer_cache_evictions = 0;
   size_t answer_cache_entries = 0;  // Instantaneous.
+  size_t traces_sampled = 0;        // Requests upgraded to full span trees.
+  size_t flight_records = 0;        // Records admitted by the recorder.
 };
 
 class QaServer {
@@ -145,6 +173,22 @@ class QaServer {
   QaServerStats stats() const;
   size_t queue_depth() const { return queue_.size(); }
 
+  // The admin listener's bound port (0 when not listening).
+  int admin_port() const { return admin_.port(); }
+
+  // The slow-question flight recorder (null when disabled).
+  const obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+
+  // The head sampler driving always-on tracing (null when disabled).
+  const obs::TraceSampler* sampler() const { return sampler_.get(); }
+
+  // Renders one admin response for `path` ("/metrics", "/healthz",
+  // "/stats", "/slow") — the admin listener's handler, exposed for tests
+  // that exercise routing without sockets.
+  AdminResponse HandleAdmin(const std::string& path) const;
+
  private:
   struct Request {
     std::string question;
@@ -157,6 +201,11 @@ class QaServer {
 
   // Decrements the in-flight count and wakes Drain() at zero.
   void FinishOne();
+
+  // Offers a completed request to the flight recorder (no-op when it does
+  // not qualify).  `trace` is the request's span-recording trace, or null.
+  void MaybeRecordFlight(const QaServerResponse& response,
+                         const obs::Trace* trace);
 
   const std::vector<const core::KgqanEngine*> engines_;
   sparql::Endpoint* endpoint_;
@@ -179,6 +228,12 @@ class QaServer {
   std::atomic<size_t> completed_{0};
   std::atomic<size_t> deadline_exceeded_{0};
 
+  // Introspection plane: head sampler, flight recorder, admin listener
+  // (each null/inactive when disabled by the options).
+  std::unique_ptr<obs::TraceSampler> sampler_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  AdminListener admin_;
+
   // Process-wide registry metrics (resolved once in the constructor).
   obs::Gauge* metric_queue_depth_;
   obs::Counter* metric_admitted_;
@@ -188,6 +243,8 @@ class QaServer {
   obs::Counter* metric_deadline_exceeded_;
   obs::Histogram* metric_queue_wait_ms_;
   obs::Histogram* metric_e2e_ms_;
+  obs::Counter* metric_traces_sampled_;
+  obs::Counter* metric_flight_records_;
 };
 
 }  // namespace kgqan::serve

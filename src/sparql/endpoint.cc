@@ -103,6 +103,14 @@ util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
     trace->AddCounter(obs::TraceCounter::kEndpointRoundTrips, 1);
   }
   obs::ScopedSpan span("sparql.query");
+  if (span.recording()) {
+    // The query text itself (truncated), so a sampled trace or flight
+    // record is forensically useful without re-deriving the SPARQL.
+    constexpr size_t kMaxSparqlAttr = 512;
+    span.AddAttribute("sparql", sparql.size() <= kMaxSparqlAttr
+                                    ? sparql
+                                    : sparql.substr(0, kMaxSparqlAttr));
+  }
   if (!SleepInjectedLatency()) {
     // The exchange was issued (and counted) but the deadline expired while
     // it was in flight: abandon it without evaluating.

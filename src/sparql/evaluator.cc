@@ -23,6 +23,24 @@ namespace kgqan::sparql {
 
 namespace {
 
+EvalProfile*& CurrentEvalProfileSlot() {
+  thread_local EvalProfile* profile = nullptr;
+  return profile;
+}
+
+}  // namespace
+
+ScopedEvalProfile::ScopedEvalProfile(EvalProfile* profile)
+    : saved_(CurrentEvalProfileSlot()) {
+  CurrentEvalProfileSlot() = profile;
+}
+
+ScopedEvalProfile::~ScopedEvalProfile() { CurrentEvalProfileSlot() = saved_; }
+
+EvalProfile* CurrentEvalProfile() { return CurrentEvalProfileSlot(); }
+
+namespace {
+
 using rdf::kNullTermId;
 using rdf::Term;
 using rdf::TermId;
@@ -185,7 +203,15 @@ class Evaluator {
  public:
   Evaluator(const store::TripleStore& store, const text::TextIndex& text_index,
             const EvalOptions& options)
-      : store_(store), text_index_(text_index), options_(options) {}
+      : store_(store), text_index_(text_index), options_(options),
+        profile_(CurrentEvalProfile()) {
+    // Per-step analysis (operator stats, step spans) runs only when a
+    // profile sink is bound or the active trace records spans — unsampled
+    // serving keeps the exact pre-existing cost profile.
+    obs::Trace* trace = obs::CurrentTrace();
+    analyze_ =
+        profile_ != nullptr || (trace != nullptr && trace->spans_enabled());
+  }
 
   StatusOr<ResultSet> Run(const Query& query) {
     CollectVars(query.where, &slots_);
@@ -282,6 +308,34 @@ class Evaluator {
         span.AddAttribute("entry_estimate",
                           std::to_string(plan.steps.front().estimate));
       }
+    }
+  }
+
+  // Publishes one executed join step to the active span and the bound
+  // operator-stats sink.  Called only on the analyze path.
+  void NoteStep(const PlanStep& step, size_t order, size_t rows_in,
+                size_t rows_out, size_t batches, size_t morsels,
+                const char* kernel, obs::ScopedSpan* span) {
+    if (span != nullptr && span->recording()) {
+      span->AddAttribute("pattern", std::to_string(step.pattern));
+      span->AddAttribute("order", std::to_string(order));
+      span->AddAttribute("estimate", std::to_string(step.estimate));
+      span->AddAttribute("rows_in", std::to_string(rows_in));
+      span->AddAttribute("rows_out", std::to_string(rows_out));
+      span->AddAttribute("kernel", kernel);
+    }
+    if (profile_ != nullptr) {
+      OperatorStats stats;
+      stats.pattern = step.pattern;
+      stats.order = order;
+      stats.estimate = step.estimate;
+      stats.rows_in = rows_in;
+      stats.rows_out = rows_out;
+      stats.batches = batches;
+      stats.morsels = morsels;
+      stats.kernel = kernel;
+      stats.ms = span != nullptr ? span->ElapsedMillis() : 0.0;
+      profile_->Add(std::move(stats));
     }
   }
 
@@ -384,18 +438,32 @@ class Evaluator {
     std::vector<CompiledTriple> patterns = CompileTriples(group);
     JoinPlan plan = PlanJoins(store_, patterns, BoundSlots(rows));
     NotePlan(patterns.size(), plan);
+    size_t order = 0;
     for (const PlanStep& step : plan.steps) {
       const CompiledTriple& cp = patterns[step.pattern];
       std::vector<Binding> next;
       if (!cp.dead) {
+        // Analyze-only step span/stats: the unanalyzed path executes the
+        // exact pre-existing statements (no stopwatch, no optional).
+        std::optional<obs::ScopedSpan> span;
+        if (analyze_) span.emplace("sparql.eval.step");
+        const size_t rows_in = rows.size();
+        const size_t morsels_before = morsel_count_;
         if (options_.intra_query_threads > 1 &&
             options_.eval_pool != nullptr) {
           KGQAN_ASSIGN_OR_RETURN(next, ShardedJoinStep(cp, rows));
         } else {
           next = SerialJoinStep(cp, rows);
         }
+        if (analyze_) {
+          const size_t morsels = morsel_count_ - morsels_before;
+          NoteStep(step, order, rows_in, next.size(), /*batches=*/0, morsels,
+                   morsels > 0 ? "sharded" : "serial",
+                   span.has_value() ? &*span : nullptr);
+        }
       }
       rows = std::move(next);
+      ++order;
       if (rows.empty()) break;
     }
 
@@ -720,13 +788,16 @@ class Evaluator {
     std::vector<CompiledTriple> patterns = CompileTriples(group);
     JoinPlan plan = PlanJoins(store_, patterns, BoundSlots(chunk));
     NotePlan(patterns.size(), plan);
+    size_t order = 0;
     for (const PlanStep& step : plan.steps) {
       const CompiledTriple& cp = patterns[step.pattern];
       Chunk next(chunk.num_slots());
       if (!cp.dead) {
-        KGQAN_ASSIGN_OR_RETURN(next, VectorizedJoinStep(cp, chunk));
+        KGQAN_ASSIGN_OR_RETURN(next,
+                               VectorizedJoinStep(cp, step, order, chunk));
       }
       chunk = std::move(next);
+      ++order;
       if (chunk.rows() == 0) break;
     }
 
@@ -771,11 +842,13 @@ class Evaluator {
   }
 
   StatusOr<Chunk> VectorizedJoinStep(const CompiledTriple& cp,
+                                     const PlanStep& step, size_t order,
                                      const Chunk& in) {
     Chunk out(in.num_slots());
     if (cp.dead || in.rows() == 0) return out;
     obs::ScopedSpan span("sparql.eval.batch_step");
     ++vectorized_steps_;
+    const size_t batches_before = batches_;
 
     // src[slot]: where the output column's value comes from (0 = the input
     // column, 1/2/3 = the matched triple's s/p/o); written in s,p,o order
@@ -827,10 +900,9 @@ class Evaluator {
       if (!hashed) status = ProbeKernel(cp, in, src, &out);
     }
     KGQAN_RETURN_IF_ERROR(status);
-    if (span.recording()) {
-      span.AddAttribute("kernel", kernel);
-      span.AddAttribute("rows_in", std::to_string(in.rows()));
-      span.AddAttribute("rows_out", std::to_string(out.rows()));
+    if (analyze_) {
+      NoteStep(step, order, in.rows(), out.rows(),
+               batches_ - batches_before, /*morsels=*/0, kernel, &span);
     }
     static obs::Histogram& step_ms =
         obs::MetricsRegistry::Global().GetHistogram(
@@ -1484,6 +1556,12 @@ class Evaluator {
   size_t batches_ = 0;
   size_t planned_groups_ = 0;
   size_t reordered_plans_ = 0;
+  // EXPLAIN ANALYZE: the calling thread's operator-stats sink (owned by
+  // the engine) and the once-per-query analyze decision.  Only the
+  // coordinator thread touches profile_ — the step loops never run on
+  // morsel workers.
+  EvalProfile* profile_ = nullptr;
+  bool analyze_ = false;
 };
 
 }  // namespace

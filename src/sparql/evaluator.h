@@ -17,6 +17,8 @@
 #define KGQAN_SPARQL_EVALUATOR_H_
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "sparql/ast.h"
 #include "sparql/result_set.h"
@@ -64,6 +66,58 @@ struct EvalOptions {
   // per-batch cancellation observable on small graphs.  0 in production.
   size_t testing_batch_delay_us = 0;
 };
+
+// Per-operator runtime statistics for EXPLAIN ANALYZE: one entry per
+// executed join step, in execution order, with the planner's cardinality
+// estimate next to the actual row counts so misestimates are visible per
+// query instead of via ad-hoc benching.
+struct OperatorStats {
+  size_t pattern = 0;   // Pattern index within its group (plan input order).
+  size_t order = 0;     // Execution position chosen by the planner.
+  size_t estimate = 0;  // Planner cardinality estimate (Locate range size).
+  size_t rows_in = 0;   // Solution rows entering the step.
+  size_t rows_out = 0;  // Solution rows leaving it.
+  size_t batches = 0;   // Batch boundaries crossed (vectorized path only).
+  size_t morsels = 0;   // Morsels spawned (sharded row path only).
+  std::string kernel;   // serial | sharded | broadcast | hash | probe.
+  double ms = 0.0;
+};
+
+// Sink for the operator stats of the evaluations on one thread, bound via
+// ScopedEvalProfile.  `dropped` counts entries past the retention cap
+// (recursive OPTIONAL evaluation can execute one step per input row).
+struct EvalProfile {
+  static constexpr size_t kMaxOperators = 256;
+  std::vector<OperatorStats> operators;
+  size_t dropped = 0;
+
+  void Add(OperatorStats stats) {
+    if (operators.size() >= kMaxOperators) {
+      ++dropped;
+      return;
+    }
+    operators.push_back(std::move(stats));
+  }
+};
+
+// Binds `profile` as the calling thread's operator-stats sink for the
+// duration of the scope (nullptr = unbind).  The engine binds one around
+// candidate-query evaluation when EXPLAIN ANALYZE or a sampled trace asks
+// for per-operator detail; unbound evaluation skips all collection.
+class ScopedEvalProfile {
+ public:
+  explicit ScopedEvalProfile(EvalProfile* profile);
+  ~ScopedEvalProfile();
+
+  ScopedEvalProfile(const ScopedEvalProfile&) = delete;
+  ScopedEvalProfile& operator=(const ScopedEvalProfile&) = delete;
+
+ private:
+  EvalProfile* saved_;
+};
+
+// The calling thread's bound sink, or nullptr.
+EvalProfile* CurrentEvalProfile();
 
 // Evaluates `query` against `store` / `text_index`.
 util::StatusOr<ResultSet> Evaluate(const Query& query,
