@@ -80,16 +80,19 @@ int main(int argc, char** argv) {
   std::filesystem::path dir(argv[2]);
   std::filesystem::create_directories(dir);
 
-  // The endpoint owns the store; re-render its triples as a Graph.
+  // The endpoint owns the store; re-render its triples as a Graph (every
+  // physical store shard holds a disjoint slice of the KG).
   {
     rdf::Graph graph;
-    const auto& store = bench.endpoint->store();
-    const auto& dict = store.dictionary();
-    store.Match(rdf::kNullTermId, rdf::kNullTermId, rdf::kNullTermId,
-                [&](const rdf::Triple& t) {
-                  graph.Add(dict.Get(t.s), dict.Get(t.p), dict.Get(t.o));
-                  return true;
-                });
+    for (size_t i = 0; i < bench.endpoint->num_store_shards(); ++i) {
+      const auto& store = bench.endpoint->store_shard(i);
+      const auto& dict = store.dictionary();
+      store.Match(rdf::kNullTermId, rdf::kNullTermId, rdf::kNullTermId,
+                  [&](const rdf::Triple& t) {
+                    graph.Add(dict.Get(t.s), dict.Get(t.p), dict.Get(t.o));
+                    return true;
+                  });
+    }
     std::ofstream out(dir / "kg.ttl");
     out << rdf::WriteTurtle(graph, PrefixesFor(id));
   }

@@ -5,10 +5,12 @@
 //   > Who is the spouse of Barack Obama?
 //   <http://dbpedia.org/resource/Michelle_Obama>
 //
-// Without an argument it serves a bundled demo KG.  Multi-intention
-// questions ("When and where was X born?") are decomposed automatically;
-// prefixing a question with "explain " prints the full pipeline trace
-// (PGP, links, candidate queries).
+// Without a file argument it serves a bundled demo KG.  `--shards=N`
+// partitions the KG across N in-process subject-hash shards (the
+// config's endpoint_shards knob); answers are byte-identical either way.
+// Multi-intention questions ("When and where was X born?") are
+// decomposed automatically; prefixing a question with "explain " prints
+// the full pipeline trace (PGP, links, candidate queries).
 
 #include <cstdio>
 #include <fstream>
@@ -17,10 +19,12 @@
 #include <string>
 
 #include "benchgen/kg.h"
+#include "core/config.h"
 #include "core/engine.h"
 #include "core/multi_intention.h"
 #include "rdf/ntriples.h"
 #include "rdf/turtle.h"
+#include "serve/sharded_endpoint.h"
 #include "sparql/endpoint.h"
 
 namespace {
@@ -44,27 +48,46 @@ kgqan::util::StatusOr<kgqan::rdf::Graph> LoadGraph(const char* path) {
 int main(int argc, char** argv) {
   using namespace kgqan;
 
-  std::unique_ptr<sparql::Endpoint> endpoint;
-  if (argc > 1) {
-    auto graph = LoadGraph(argv[1]);
-    if (!graph.ok()) {
-      std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+  core::KgqanConfig config;
+  const char* kg_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind("--shards=", 0) == 0) {
+      config.endpoint_shards = std::stoul(arg.substr(9));
+    } else if (kg_path == nullptr) {
+      kg_path = argv[i];
+    }
+  }
+
+  std::string name;
+  rdf::Graph graph;
+  if (kg_path != nullptr) {
+    auto loaded = LoadGraph(kg_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
       return 1;
     }
-    endpoint = std::make_unique<sparql::Endpoint>(argv[1],
-                                                  std::move(graph).value());
+    name = kg_path;
+    graph = std::move(loaded).value();
   } else {
     benchgen::BuiltKg kg =
         benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.3, 99);
     std::printf("(no KG file given; serving a bundled demo KG)\n");
-    endpoint = std::make_unique<sparql::Endpoint>("demo",
-                                                  std::move(kg.graph));
+    name = "demo";
+    graph = std::move(kg.graph);
+  }
+  std::unique_ptr<sparql::Endpoint> endpoint = serve::MakeEndpoint(
+      std::move(name), std::move(graph), config.endpoint_shards);
+  if (config.endpoint_shards > 1) {
+    std::printf("(endpoint partitioned across %zu subject-hash shards)\n",
+                config.endpoint_shards);
   }
   std::printf("KG ready: %zu triples.  Ask a question per line; Ctrl-D to "
               "exit.\n",
               endpoint->NumTriples());
 
-  core::KgqanEngine engine;
+  core::KgqanEngine engine(config);
   core::MultiIntentionAnswerer multi(&engine);
 
   std::string line;

@@ -138,6 +138,14 @@ struct KgqanConfig {
   // pays nothing; on, every request collects.
   bool explain_analyze = false;
 
+  // In-process KG shards behind the endpoint facade (not a paper
+  // parameter): > 1 partitions the triples by subject hash across that
+  // many store shards, evaluated with an ordered cross-shard merge that is
+  // byte-identical to the single-store endpoint (the sharded equivalence
+  // battery's bar).  <= 1 keeps the plain single-store endpoint.  Applied
+  // when the endpoint is built via serve::MakeEndpoint.
+  size_t endpoint_shards = 1;
+
   // Question-understanding model variant (Table 4 ablation).
   qu::TriplePatternGenerator::Options qu;
 

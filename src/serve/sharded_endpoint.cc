@@ -1,0 +1,126 @@
+#include "serve/sharded_endpoint.h"
+
+#include <algorithm>
+#include <shared_mutex>
+#include <utility>
+
+#include "obs/trace.h"
+#include "sparql/parser.h"
+
+namespace kgqan::serve {
+
+namespace {
+
+// Publishes `current - last_published` to `metric` via an atomic-exchange
+// snapshot: concurrent queries may interleave, but every increment of the
+// cumulative counter is published exactly once.
+void PublishDelta(std::atomic<uint64_t>& published, uint64_t current,
+                  obs::Counter* metric) {
+  uint64_t prev = published.exchange(current, std::memory_order_relaxed);
+  if (current > prev) metric->Add(current - prev);
+}
+
+}  // namespace
+
+ShardedEndpoint::ShardedEndpoint(std::string name, rdf::Graph graph,
+                                 size_t num_shards,
+                                 sparql::EndpointOptions options)
+    : Endpoint(std::move(name), options),
+      store_(std::move(graph), num_shards, options.build_threads),
+      shard_latency_us_(store_.num_shards()) {
+  text_index_ = std::make_unique<text::ShardedTextIndex>(store_);
+  if (store_.num_shards() > 1) {
+    // Probe fan-out: the querying thread participates (util::ParallelFor),
+    // so min(shards, 8) - 1 workers probe up to 8 shards concurrently.
+    probe_pool_ = std::make_unique<util::ThreadPool>(
+        std::min<size_t>(store_.num_shards(), 8) - 1);
+    text_index_->set_probe_pool(probe_pool_.get());
+  }
+  for (auto& latency : shard_latency_us_) {
+    latency.store(0, std::memory_order_relaxed);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  metric_routed_ = &registry.GetCounter("sparql.shard.routed_lookups");
+  metric_fanout_ = &registry.GetCounter("sparql.shard.fanout_lookups");
+  metric_merged_ = &registry.GetCounter("sparql.shard.merged_scans");
+  metric_shard_lookups_.reserve(store_.num_shards());
+  for (size_t i = 0; i < store_.num_shards(); ++i) {
+    metric_shard_lookups_.push_back(
+        &registry.GetCounter("sparql.shard.lookups." + std::to_string(i)));
+  }
+  published_shard_lookups_ =
+      std::make_unique<std::atomic<uint64_t>[]>(store_.num_shards());
+  for (size_t i = 0; i < store_.num_shards(); ++i) {
+    published_shard_lookups_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void ShardedEndpoint::PublishShardMetrics() {
+  PublishDelta(published_routed_, store_.routed_lookups(), metric_routed_);
+  PublishDelta(published_fanout_, store_.fanout_lookups(), metric_fanout_);
+  PublishDelta(published_merged_, store_.merged_scans(), metric_merged_);
+  for (size_t i = 0; i < store_.num_shards(); ++i) {
+    PublishDelta(published_shard_lookups_[i], store_.shard_lookups(i),
+                 metric_shard_lookups_[i]);
+  }
+}
+
+util::StatusOr<sparql::ResultSet> ShardedEndpoint::EvaluateQuery(
+    std::string_view sparql) {
+  KGQAN_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  // A cross-shard wave completes when its slowest shard responds: wait the
+  // max injected per-shard latency, outside the data lock (writers must
+  // not stall behind simulated network waits) and cancellably — an
+  // expiring deadline abandons the whole wave before any merge happens.
+  int64_t slowest_us = 0;
+  for (const auto& latency : shard_latency_us_) {
+    slowest_us =
+        std::max(slowest_us, latency.load(std::memory_order_relaxed));
+  }
+  if (slowest_us > 0) {
+    obs::ScopedSpan wait_span("sparql.shard.wait");
+    if (wait_span.recording()) {
+      wait_span.AddAttribute("shards",
+                             std::to_string(store_.num_shards()));
+    }
+    if (!CancellableSleepUs(slowest_us)) {
+      wait_span.AddAttribute("error", "wave abandoned");
+      return util::Status::DeadlineExceeded(
+          "cross-shard wave abandoned: deadline expired before the slowest "
+          "shard responded (no partial merge)");
+    }
+  }
+  std::shared_lock<std::shared_mutex> lock(data_mutex());
+  obs::ScopedSpan span("sparql.shard.eval");
+  if (span.recording()) {
+    span.AddAttribute("shards", std::to_string(store_.num_shards()));
+  }
+  util::StatusOr<sparql::ResultSet> result =
+      Evaluate(query, store_, *text_index_, eval_options_);
+  PublishShardMetrics();
+  return result;
+}
+
+size_t ShardedEndpoint::InsertTriples(
+    const std::vector<std::array<rdf::Term, 3>>& triples) {
+  size_t added = store_.Insert(triples);
+  if (added > 0) {
+    // Re-index every shard's literals, like the single-store endpoint's
+    // full-text rebuild.
+    text_index_->Rebuild(store_);
+  }
+  return added;
+}
+
+std::unique_ptr<sparql::Endpoint> MakeEndpoint(
+    std::string name, rdf::Graph graph, size_t endpoint_shards,
+    sparql::EndpointOptions options) {
+  if (endpoint_shards <= 1) {
+    return std::make_unique<sparql::LocalEndpoint>(
+        std::move(name), std::move(graph), options);
+  }
+  return std::make_unique<ShardedEndpoint>(std::move(name), std::move(graph),
+                                           endpoint_shards, options);
+}
+
+}  // namespace kgqan::serve

@@ -1,0 +1,114 @@
+// Sharded SPARQL endpoint backend: the same logical KG partitioned across
+// N in-process subject-hash shards (store::ShardedStore), each with its own
+// full-text index, behind the unchanged sparql::Endpoint facade — the
+// in-process step of the ROADMAP's wukong-style distributed endpoint
+// (socket transport / federation is the follow-up).
+//
+// Engine, QaServer, the answer cache and the admin plane see a plain
+// Endpoint; answers are byte-identical to LocalEndpoint over the same graph
+// (same rows, same order, same counters — the sharded equivalence battery's
+// bar), because the ShardedStore's ordered cross-shard merge reproduces the
+// single-store index order and its cardinality estimates are sum-exact.
+//
+// Query flow per exchange: single-subject lookups route to the owning
+// shard; linking/text probes and unbound scans fan out to all shards
+// (text probes concurrently on a dedicated probe pool) and merge
+// rank-stably.  A cross-shard wave completes when its slowest shard
+// responds, so per-shard injected latency (set_shard_injected_latency_ms)
+// waits for the max over shards — outside the data lock, cancellable — and
+// a deadline expiring mid-wave abandons the whole wave with
+// kDeadlineExceeded: no partially merged answer is ever returned.
+//
+// Observability: per-query routing/fan-out/merge deltas are published as
+// sparql.shard.* metrics, and evaluation runs under a "sparql.shard.eval"
+// span (inside the facade's "sparql.query" span) carrying the shard count.
+
+#ifndef KGQAN_SERVE_SHARDED_ENDPOINT_H_
+#define KGQAN_SERVE_SHARDED_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rdf/graph.h"
+#include "sparql/endpoint.h"
+#include "store/sharded_store.h"
+#include "text/sharded_text_index.h"
+#include "util/thread_pool.h"
+
+namespace kgqan::serve {
+
+class ShardedEndpoint : public sparql::Endpoint {
+ public:
+  // Partitions `graph` across `num_shards` subject-hash shards (clamped to
+  // at least 1) and indexes each shard's literals.
+  ShardedEndpoint(std::string name, rdf::Graph graph, size_t num_shards,
+                  sparql::EndpointOptions options = {});
+
+  size_t NumTriples() const override { return store_.size(); }
+  size_t num_store_shards() const override { return store_.num_shards(); }
+  const store::TripleStore& store_shard(size_t shard) const override {
+    return store_.shard(shard);
+  }
+  size_t ApproxIndexBytes() const override {
+    return store_.ApproxIndexBytes() + text_index_->ApproxIndexBytes();
+  }
+
+  // Direct substrate access, for tests and benchmarks.
+  const store::ShardedStore& sharded_store() const { return store_; }
+  const text::ShardedTextIndex& text_index() const { return *text_index_; }
+
+  // Fault injection (tests): queries wait as if `shard` answered its part
+  // of every cross-shard wave `ms` late.  The wave waits for its slowest
+  // shard, outside the data lock, and a deadline expiring during the wait
+  // abandons the wave cleanly.  Atomic; 0 disables.
+  void set_shard_injected_latency_ms(size_t shard, double ms) {
+    shard_latency_us_[shard].store(static_cast<int64_t>(ms * 1000.0),
+                                   std::memory_order_relaxed);
+  }
+
+ protected:
+  util::StatusOr<sparql::ResultSet> EvaluateQuery(
+      std::string_view sparql) override;
+  size_t InsertTriples(
+      const std::vector<std::array<rdf::Term, 3>>& triples) override;
+
+ private:
+  // Publishes the store's cumulative routing counters to the metrics
+  // registry as deltas (atomic-exchange snapshots, so concurrent queries
+  // never double-count).
+  void PublishShardMetrics();
+
+  store::ShardedStore store_;
+  std::unique_ptr<text::ShardedTextIndex> text_index_;
+  // Dedicated pool for fanning text probes across shards; distinct from
+  // the facade's intra-query eval pool so probe fan-out composes with
+  // morsel sharding.  Null when a single shard makes fan-out pointless.
+  std::unique_ptr<util::ThreadPool> probe_pool_;
+  std::vector<std::atomic<int64_t>> shard_latency_us_;
+
+  obs::Counter* metric_routed_;
+  obs::Counter* metric_fanout_;
+  obs::Counter* metric_merged_;
+  std::vector<obs::Counter*> metric_shard_lookups_;
+  std::atomic<uint64_t> published_routed_{0};
+  std::atomic<uint64_t> published_fanout_{0};
+  std::atomic<uint64_t> published_merged_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> published_shard_lookups_;
+};
+
+// Builds the endpoint backend selected by `endpoint_shards`: the plain
+// single-store LocalEndpoint when <= 1, a ShardedEndpoint otherwise.
+// Either way the caller holds an opaque sparql::Endpoint, the only
+// interface the QA pipeline is allowed to use.
+std::unique_ptr<sparql::Endpoint> MakeEndpoint(
+    std::string name, rdf::Graph graph, size_t endpoint_shards,
+    sparql::EndpointOptions options = {});
+
+}  // namespace kgqan::serve
+
+#endif  // KGQAN_SERVE_SHARDED_ENDPOINT_H_

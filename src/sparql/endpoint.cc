@@ -13,11 +13,8 @@
 
 namespace kgqan::sparql {
 
-Endpoint::Endpoint(std::string name, rdf::Graph graph,
-                   EndpointOptions options)
-    : name_(std::move(name)),
-      store_(std::move(graph), options.build_threads) {
-  text_index_ = std::make_unique<text::TextIndex>(store_);
+Endpoint::Endpoint(std::string name, EndpointOptions options)
+    : name_(std::move(name)) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   metric_requests_ = &registry.GetCounter("endpoint.requests");
   metric_round_trips_ = &registry.GetCounter("endpoint.round_trips");
@@ -26,7 +23,10 @@ Endpoint::Endpoint(std::string name, rdf::Graph graph,
   metric_query_latency_ms_ =
       &registry.GetHistogram("endpoint.query_latency_ms");
   if (options.intra_query_threads != 1) {
-    set_intra_query_threads(options.intra_query_threads);
+    // Virtual, but derived overrides only add derived-side configuration;
+    // the base implementation (the one a base ctor dispatches to) is the
+    // part that must run here.
+    Endpoint::set_intra_query_threads(options.intra_query_threads);
   }
   if (options.vectorized_eval) {
     set_vectorized_eval(true);
@@ -53,16 +53,7 @@ util::StatusOr<ResultSet> Endpoint::Query(std::string_view sparql) {
   return QueryBatch(sparql, 1);
 }
 
-util::StatusOr<ResultSet> Endpoint::EvaluateLocked(std::string_view sparql) {
-  KGQAN_ASSIGN_OR_RETURN(sparql::Query query, ParseQuery(sparql));
-  // Shared lock: the store and text index are read-only during evaluation;
-  // only AddNTriples mutates them (under the unique lock).
-  std::shared_lock<std::shared_mutex> lock(data_mutex_);
-  return Evaluate(query, store_, *text_index_, eval_options_);
-}
-
-bool Endpoint::SleepInjectedLatency() const {
-  int64_t us = injected_latency_us_.load(std::memory_order_relaxed);
+bool Endpoint::CancellableSleepUs(int64_t us) {
   if (us <= 0) return true;
   // Chunked sleep so an expiring deadline interrupts the simulated network
   // wait promptly instead of after the full injected latency.
@@ -73,6 +64,11 @@ bool Endpoint::SleepInjectedLatency() const {
     std::this_thread::sleep_for(std::chrono::microseconds(kChunkUs));
   }
   return !util::Cancelled();
+}
+
+bool Endpoint::SleepInjectedLatency() const {
+  return CancellableSleepUs(
+      injected_latency_us_.load(std::memory_order_relaxed));
 }
 
 void Endpoint::RecordCancelled() {
@@ -117,7 +113,7 @@ util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
     RecordCancelled();
     return util::Status::DeadlineExceeded("query abandoned: deadline expired");
   }
-  util::StatusOr<ResultSet> result = EvaluateLocked(sparql);
+  util::StatusOr<ResultSet> result = EvaluateQuery(sparql);
   metric_query_latency_ms_->Record(span.watch().ElapsedMillis());
   if (result.ok()) {
     if (span.recording()) {
@@ -129,8 +125,9 @@ util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
                                                    : result->NumRows()));
     }
   } else if (result.status().code() == util::StatusCode::kDeadlineExceeded) {
-    // The evaluator unwound mid-scan on the request deadline: that is a
-    // cancellation (like an abandoned in-flight exchange), not an error.
+    // The evaluator (or a backend-side wait) unwound on the request
+    // deadline: that is a cancellation (like an abandoned in-flight
+    // exchange), not an error.
     RecordCancelled();
     span.AddAttribute("error", result.status().message());
   } else {
@@ -150,12 +147,36 @@ util::StatusOr<size_t> Endpoint::AddNTriples(std::string_view ntriples) {
                        delta.dictionary().Get(t.o)});
   }
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  size_t added = InsertTriples(triples);
+  if (added > 0) {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  return added;
+}
+
+LocalEndpoint::LocalEndpoint(std::string name, rdf::Graph graph,
+                             EndpointOptions options)
+    : Endpoint(std::move(name), options),
+      store_(std::move(graph), options.build_threads) {
+  text_index_ = std::make_unique<text::TextIndex>(store_);
+}
+
+util::StatusOr<ResultSet> LocalEndpoint::EvaluateQuery(
+    std::string_view sparql) {
+  KGQAN_ASSIGN_OR_RETURN(sparql::Query query, ParseQuery(sparql));
+  // Shared lock: the store and text index are read-only during evaluation;
+  // only AddNTriples mutates them (under the unique lock).
+  std::shared_lock<std::shared_mutex> lock(data_mutex());
+  return Evaluate(query, store_, *text_index_, eval_options_);
+}
+
+size_t LocalEndpoint::InsertTriples(
+    const std::vector<std::array<rdf::Term, 3>>& triples) {
   size_t added = store_.Insert(triples);
   if (added > 0) {
     // The built-in full-text index covers the new literals after a
     // rebuild, as an RDF engine's background indexer would.
     text_index_ = std::make_unique<text::TextIndex>(store_);
-    generation_.fetch_add(1, std::memory_order_release);
   }
   return added;
 }

@@ -2,9 +2,13 @@
 // knowledge graph, mirroring the publicly accessible HTTP API of Virtuoso /
 // Stardog / Jena endpoints (Figure 2 of the paper).
 //
-// The endpoint owns the triple store and its built-in full-text index, and
-// keeps per-endpoint request statistics used by the response-time
-// experiments (Figure 7).
+// `Endpoint` is the abstract facade: it owns the request/round-trip/error
+// accounting, tracing, cancellation and injected-latency behavior shared by
+// every backend, and leaves storage and evaluation to subclasses.
+// `LocalEndpoint` is the original single-store backend (one TripleStore +
+// its built-in full-text index); `serve::ShardedEndpoint` partitions the
+// same KG across subject-hash shards behind the identical API.  Engine,
+// QaServer, the answer cache and the admin plane only ever see `Endpoint`.
 //
 // Thread-safety: Query() may be called concurrently from any number of
 // threads (the store, text index and evaluator are read-only on the query
@@ -36,12 +40,14 @@
 #ifndef KGQAN_SPARQL_ENDPOINT_H_
 #define KGQAN_SPARQL_ENDPOINT_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "rdf/graph.h"
@@ -69,9 +75,7 @@ struct EndpointOptions {
 
 class Endpoint {
  public:
-  // Builds the store and its default full-text index over `graph` —
-  // the standard, unmodified installation of Sec. 7.1.4.
-  Endpoint(std::string name, rdf::Graph graph, EndpointOptions options = {});
+  virtual ~Endpoint() = default;
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
@@ -96,7 +100,17 @@ class Endpoint {
   util::StatusOr<size_t> AddNTriples(std::string_view ntriples);
 
   // Number of triples in the KG.
-  size_t NumTriples() const { return store_.size(); }
+  virtual size_t NumTriples() const = 0;
+
+  // Physical store layout, for index-building baselines (which, unlike
+  // KGQAn, pre-process the KG) and tests: the number of store shards (1
+  // for a local endpoint) and each shard's TripleStore.  Iterating every
+  // shard visits every triple exactly once.
+  virtual size_t num_store_shards() const = 0;
+  virtual const store::TripleStore& store_shard(size_t shard) const = 0;
+
+  // Approximate bytes held by the backend's indexes and dictionary.
+  virtual size_t ApproxIndexBytes() const = 0;
 
   // Request statistics.  query_count counts logical SPARQL requests (each
   // sub-query of a batch counts as one), round_trips counts physical
@@ -123,12 +137,6 @@ class Endpoint {
     return name_ + "#" + std::to_string(generation());
   }
 
-  // Direct substrate access — for index-building baselines (which, unlike
-  // KGQAn, pre-process the KG) and for tests.  KGQAn itself only calls
-  // Query().
-  const store::TripleStore& store() const { return store_; }
-  const text::TextIndex& text_index() const { return *text_index_; }
-
   EvalOptions& mutable_eval_options() { return eval_options_; }
 
   // Reconfigures intra-query parallelism: n > 1 provisions an evaluation
@@ -136,7 +144,7 @@ class Endpoint {
   // util::ParallelFor) and shards join steps across it; n == 1 drops the
   // pool and restores the exact serial path; n == 0 means hardware
   // concurrency.  Configuration call — do not race against queries.
-  void set_intra_query_threads(size_t n);
+  virtual void set_intra_query_threads(size_t n);
   size_t intra_query_threads() const {
     return eval_options_.intra_query_threads;
   }
@@ -164,21 +172,40 @@ class Endpoint {
     return cancelled_count_.load(std::memory_order_relaxed);
   }
 
- private:
-  // Runs the parse + evaluate body of QueryBatch (under the reader lock).
-  util::StatusOr<ResultSet> EvaluateLocked(std::string_view sparql);
+ protected:
+  Endpoint(std::string name, EndpointOptions options);
 
-  // Sleeps the injected latency in small chunks, returning false if the
-  // calling thread's cancellation token expired mid-wait.
-  bool SleepInjectedLatency() const;
+  // Backend hook: parse and evaluate one query text.  Runs outside the
+  // data lock — implementations take the shared data_mutex() themselves,
+  // so backend-specific pre-evaluation waits (e.g. a sharded endpoint's
+  // per-shard latency injection) never stall AddNTriples writers.
+  virtual util::StatusOr<ResultSet> EvaluateQuery(std::string_view sparql) = 0;
+
+  // Backend hook: insert pre-parsed term triples and refresh any derived
+  // indexes.  Called under the unique data_mutex() lock; returns the
+  // number of genuinely new triples.
+  virtual size_t InsertTriples(
+      const std::vector<std::array<rdf::Term, 3>>& triples) = 0;
+
+  // Readers-writer lock between EvaluateQuery (shared) and InsertTriples
+  // (unique, taken by AddNTriples).
+  std::shared_mutex& data_mutex() { return data_mutex_; }
+
+  // Sleeps ~`us` microseconds in 200µs chunks, polling the calling
+  // thread's cancellation token; false when the deadline expired mid-wait.
+  static bool CancellableSleepUs(int64_t us);
 
   // Records one cancelled query (metrics + trace attribution).
   void RecordCancelled();
 
-  std::string name_;
-  store::TripleStore store_;
-  std::unique_ptr<text::TextIndex> text_index_;
   EvalOptions eval_options_;
+
+ private:
+  // Sleeps the injected latency in small chunks, returning false if the
+  // calling thread's cancellation token expired mid-wait.
+  bool SleepInjectedLatency() const;
+
+  std::string name_;
   // Workers for sharded evaluation (eval_options_.eval_pool points here);
   // null while intra_query_threads <= 1.
   std::unique_ptr<util::ThreadPool> eval_pool_;
@@ -194,8 +221,39 @@ class Endpoint {
   std::atomic<size_t> cancelled_count_{0};
   std::atomic<int64_t> injected_latency_us_{0};
   std::atomic<size_t> generation_{0};
-  // Readers-writer lock between Query (shared) and AddNTriples (unique).
   std::shared_mutex data_mutex_;
+};
+
+// The single-store backend: one TripleStore plus its built-in full-text
+// index — the standard, unmodified installation of Sec. 7.1.4.
+class LocalEndpoint : public Endpoint {
+ public:
+  // Builds the store and its default full-text index over `graph`.
+  LocalEndpoint(std::string name, rdf::Graph graph,
+                EndpointOptions options = {});
+
+  size_t NumTriples() const override { return store_.size(); }
+  size_t num_store_shards() const override { return 1; }
+  const store::TripleStore& store_shard(size_t) const override {
+    return store_;
+  }
+  size_t ApproxIndexBytes() const override {
+    return store_.ApproxIndexBytes();
+  }
+
+  // Direct substrate access — for index-building baselines and tests.
+  // KGQAn itself only calls Query().
+  const store::TripleStore& store() const { return store_; }
+  const text::TextIndex& text_index() const { return *text_index_; }
+
+ protected:
+  util::StatusOr<ResultSet> EvaluateQuery(std::string_view sparql) override;
+  size_t InsertTriples(
+      const std::vector<std::array<rdf::Term, 3>>& triples) override;
+
+ private:
+  store::TripleStore store_;
+  std::unique_ptr<text::TextIndex> text_index_;
 };
 
 }  // namespace kgqan::sparql

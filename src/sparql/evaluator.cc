@@ -16,6 +16,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparql/planner.h"
+#include "store/sharded_store.h"
+#include "text/sharded_text_index.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
 
@@ -199,9 +201,17 @@ enum class CompKind : uint8_t {
   kMixed,    // Bound in some rows only: probe per row.
 };
 
+// Generic over the store/text-index pair: store::TripleStore +
+// text::TextIndex (the single-store path) or store::ShardedStore +
+// text::ShardedTextIndex.  StoreT supplies dictionary(), Locate() ->
+// StoreT::Range, Match/MatchRange, Partition(Range, n) and
+// EstimateMatches with identical semantics; every ordering and cap
+// decision below is expressed against that contract, which is what makes
+// the sharded backend byte-identical to the single store.
+template <typename StoreT, typename TextT>
 class Evaluator {
  public:
-  Evaluator(const store::TripleStore& store, const text::TextIndex& text_index,
+  Evaluator(const StoreT& store, const TextT& text_index,
             const EvalOptions& options)
       : store_(store), text_index_(text_index), options_(options),
         profile_(CurrentEvalProfile()) {
@@ -551,7 +561,7 @@ class Evaluator {
   struct Morsel {
     size_t row_begin = 0;
     size_t row_end = 0;  // Exclusive.
-    store::ScanRange range;
+    typename StoreT::Range range;
     TermId s = kNullTermId;
     TermId p = kNullTermId;
     TermId o = kNullTermId;
@@ -583,7 +593,7 @@ class Evaluator {
       // Few rows (typically the first pattern's single seed row): slice
       // each row's located index range.
       size_t total = 0;
-      std::vector<store::ScanRange> ranges;
+      std::vector<typename StoreT::Range> ranges;
       std::vector<std::array<TermId, 3>> resolved;
       ranges.reserve(rows.size());
       resolved.reserve(rows.size());
@@ -600,8 +610,8 @@ class Evaluator {
           {size_t{1}, options_.min_morsel_triples, total / target_morsels});
       for (size_t r = 0; r < rows.size(); ++r) {
         size_t parts = (ranges[r].size() + slice - 1) / slice;
-        for (const store::ScanRange& part :
-             store::TripleStore::Partition(ranges[r], parts)) {
+        for (const typename StoreT::Range& part :
+             store_.Partition(ranges[r], parts)) {
           Morsel m;
           m.row_begin = r;
           m.row_end = r + 1;
@@ -628,7 +638,7 @@ class Evaluator {
         if (cancelled.load(std::memory_order_relaxed)) return;
         const Binding& row = rows[r];
         TermId s, p, o;
-        store::ScanRange range;
+        typename StoreT::Range range;
         if (morsel.has_range) {
           s = morsel.s;
           p = morsel.p;
@@ -884,7 +894,7 @@ class Evaluator {
         auto build_comp = [](uint64_t c, CompKind k) {
           return k == CompKind::kConst ? static_cast<TermId>(c) : kNullTermId;
         };
-        store::ScanRange range =
+        typename StoreT::Range range =
             store_.Locate(build_comp(cp.s, ks), build_comp(cp.p, kp),
                           build_comp(cp.o, ko));
         // The build touches every range triple once (hashing + per-key
@@ -966,18 +976,17 @@ class Evaluator {
     const TermId p = comp(cp.p);
     const TermId o = comp(cp.o);
     const size_t cap = options_.max_rows;
-    store::ScanRange range = store_.Locate(s, p, o);
+    typename StoreT::Range range = store_.Locate(s, p, o);
     std::vector<rdf::Triple> matches;
     matches.reserve(std::min(range.size(), cap));
 
     const size_t threads = options_.intra_query_threads;
-    std::vector<store::ScanRange> slices;
+    std::vector<typename StoreT::Range> slices;
     if (threads > 1 && options_.eval_pool != nullptr &&
         range.size() >= options_.min_shard_work) {
       size_t slice = std::max<size_t>({size_t{1}, options_.min_morsel_triples,
                                        range.size() / (threads * 4)});
-      slices = store::TripleStore::Partition(
-          range, (range.size() + slice - 1) / slice);
+      slices = store_.Partition(range, (range.size() + slice - 1) / slice);
     }
     if (slices.size() > 1) {
       // Parallel scan: contiguous slices merged in order are the serial
@@ -1052,7 +1061,7 @@ class Evaluator {
   // component except the (at most one) wildcard.
   Status HashKernel(const CompiledTriple& cp, const Chunk& in,
                     const std::vector<uint8_t>& src,
-                    const store::ScanRange& build_range, CompKind ks,
+                    const typename StoreT::Range& build_range, CompKind ks,
                     CompKind kp, CompKind ko, Chunk* out) {
     auto build_comp = [](uint64_t c, CompKind k) {
       return k == CompKind::kConst ? static_cast<TermId>(c) : kNullTermId;
@@ -1542,8 +1551,8 @@ class Evaluator {
     }
   }
 
-  const store::TripleStore& store_;
-  const text::TextIndex& text_index_;
+  const StoreT& store_;
+  const TextT& text_index_;
   const EvalOptions& options_;
   SlotMap slots_;
   // Query-local dictionary overlay for VALUES terms absent from the store
@@ -1564,12 +1573,13 @@ class Evaluator {
   bool analyze_ = false;
 };
 
-}  // namespace
-
-StatusOr<ResultSet> Evaluate(const Query& query,
-                             const store::TripleStore& store,
-                             const text::TextIndex& text_index,
-                             const EvalOptions& options) {
+// One evaluation, generic over the backend.  Both public overloads land
+// here; the registry counters resolve to the same entries either way, so
+// sharded and unsharded endpoints share one metric namespace.
+template <typename StoreT, typename TextT>
+StatusOr<ResultSet> EvaluateImpl(const Query& query, const StoreT& store,
+                                 const TextT& text_index,
+                                 const EvalOptions& options) {
   // Registry instrumentation: evaluation volume and result-set sizes
   // (bucket bounds are row counts, not latencies).
   static obs::Counter& evaluations =
@@ -1579,7 +1589,7 @@ StatusOr<ResultSet> Evaluate(const Query& query,
           "sparql.evaluator.result_rows",
           {0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0});
   evaluations.Add(1);
-  Evaluator evaluator(store, text_index, options);
+  Evaluator<StoreT, TextT> evaluator(store, text_index, options);
   StatusOr<ResultSet> result = evaluator.Run(query);
   if (result.ok() && !result->is_ask()) {
     result_rows.Record(double(result->NumRows()));
@@ -1633,6 +1643,22 @@ StatusOr<ResultSet> Evaluate(const Query& query,
     }
   }
   return result;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Evaluate(const Query& query,
+                             const store::TripleStore& store,
+                             const text::TextIndex& text_index,
+                             const EvalOptions& options) {
+  return EvaluateImpl(query, store, text_index, options);
+}
+
+StatusOr<ResultSet> Evaluate(const Query& query,
+                             const store::ShardedStore& store,
+                             const text::ShardedTextIndex& text_index,
+                             const EvalOptions& options) {
+  return EvaluateImpl(query, store, text_index, options);
 }
 
 }  // namespace kgqan::sparql

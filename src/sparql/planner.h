@@ -17,8 +17,10 @@
 #ifndef KGQAN_SPARQL_PLANNER_H_
 #define KGQAN_SPARQL_PLANNER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "store/triple_store.h"
@@ -50,22 +52,74 @@ struct JoinPlan {
   bool reordered = false;
 };
 
+// Fan-in heuristic: a component whose variable is already bound behaves
+// like a constant of unknown value, so its estimate is divided by this
+// factor (the average out-degree assumed for a bound join key).
+inline constexpr size_t kBoundDiscount = 64;
+
 // Estimated number of matches of `cp` given which slots are bound.  Constant
 // components index the store exactly (Locate range size via
-// TripleStore::EstimateMatches); components whose slot is bound are treated
-// as constants of unknown value, each dividing the estimate by a fixed
-// fan-in heuristic.  A dead pattern estimates 0.
-size_t EstimateTripleCost(const store::TripleStore& store,
-                          const CompiledTriple& cp,
-                          const std::vector<bool>& bound);
+// EstimateMatches); components whose slot is bound are treated as constants
+// of unknown value, each dividing the estimate by a fixed fan-in heuristic.
+// A dead pattern estimates 0.  Generic over the store: a ShardedStore's
+// estimate is the summed per-shard range width — exactly the single-store
+// range width over the same triples — so sharded plans are identical to
+// unsharded plans by construction.
+template <typename StoreT>
+size_t EstimateTripleCost(const StoreT& store, const CompiledTriple& cp,
+                          const std::vector<bool>& bound) {
+  if (cp.dead) return 0;
+  auto comp = [](uint64_t c) -> rdf::TermId {
+    if (!CompiledTriple::IsSlot(c)) return static_cast<rdf::TermId>(c);
+    return rdf::kNullTermId;
+  };
+  size_t est = store.EstimateMatches(comp(cp.s), comp(cp.p), comp(cp.o));
+  auto discount = [&](uint64_t c, size_t e) {
+    if (CompiledTriple::IsSlot(c) && bound[CompiledTriple::Slot(c)]) {
+      return std::max<size_t>(1, e / kBoundDiscount);
+    }
+    return e;
+  };
+  est = discount(cp.s, est);
+  est = discount(cp.p, est);
+  est = discount(cp.o, est);
+  return est;
+}
 
 // Greedy selectivity plan over `patterns`.  `bound[slot]` marks slots bound
 // by the incoming solution rows (text patterns / VALUES); the planner
 // extends it internally as steps are chosen.  Deterministic: equal
 // estimates fall back to pattern order.
-JoinPlan PlanJoins(const store::TripleStore& store,
+template <typename StoreT>
+JoinPlan PlanJoins(const StoreT& store,
                    const std::vector<CompiledTriple>& patterns,
-                   std::vector<bool> bound);
+                   std::vector<bool> bound) {
+  JoinPlan plan;
+  plan.steps.reserve(patterns.size());
+  std::vector<bool> used(patterns.size(), false);
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    // Pick the cheapest unused pattern; strict < keeps ties on the earliest
+    // pattern index, so plans are deterministic for tied cardinalities.
+    size_t best = patterns.size();
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      size_t cost = EstimateTripleCost(store, patterns[i], bound);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    used[best] = true;
+    plan.steps.push_back(PlanStep{best, best_cost});
+    if (best != step) plan.reordered = true;
+    const CompiledTriple& cp = patterns[best];
+    for (uint64_t c : {cp.s, cp.p, cp.o}) {
+      if (CompiledTriple::IsSlot(c)) bound[CompiledTriple::Slot(c)] = true;
+    }
+  }
+  return plan;
+}
 
 }  // namespace kgqan::sparql
 

@@ -1,0 +1,247 @@
+#include "store/sharded_store.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace kgqan::store {
+
+namespace {
+
+// FNV-1a 64-bit.
+uint64_t Fnv1a(uint64_t h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+size_t SubjectShard(const rdf::Term& term, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t h = 1469598103934665603ULL;
+  const unsigned char kind = static_cast<unsigned char>(term.kind);
+  h ^= kind;
+  h *= 1099511628211ULL;
+  h = Fnv1a(h, term.value);
+  h = Fnv1a(h, {"\0", 1});
+  h = Fnv1a(h, term.datatype);
+  h = Fnv1a(h, {"\0", 1});
+  h = Fnv1a(h, term.lang);
+  return static_cast<size_t>(h % num_shards);
+}
+
+ShardedStore::ShardedStore(rdf::Graph graph, size_t num_shards,
+                           size_t build_threads)
+    : num_shards_(std::min<size_t>(std::max<size_t>(num_shards, 1), 255)) {
+  const size_t n = num_shards_;
+  dict_ = std::make_unique<rdf::TermDictionary>(std::move(graph.dictionary()));
+  ExtendOwners();
+
+  // Per-shard dedup below is also global dedup: duplicates share a subject
+  // and therefore a shard.
+  std::vector<std::vector<Triple>> by_shard(n);
+  for (const Triple& t : graph.triples()) {
+    by_shard[owner_[t.s]].push_back(t);
+  }
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.emplace_back(std::move(by_shard[i]), dict_.get(), build_threads);
+  }
+  shard_lookups_ = std::make_unique<std::atomic<uint64_t>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    shard_lookups_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void ShardedStore::ExtendOwners() {
+  const size_t want = static_cast<size_t>(dict_->MaxId()) + 1;
+  const size_t have = owner_.size();
+  if (want <= have) return;
+  owner_.resize(want);
+  for (size_t id = std::max<size_t>(have, 1); id < want; ++id) {
+    owner_[id] = static_cast<uint8_t>(
+        SubjectShard(dict_->Get(static_cast<TermId>(id)), num_shards_));
+  }
+}
+
+size_t ShardedStore::size() const {
+  size_t total = 0;
+  for (const TripleStore& s : shards_) total += s.size();
+  return total;
+}
+
+size_t ShardedStore::Insert(
+    const std::vector<std::array<rdf::Term, 3>>& triples) {
+  // Mirror TripleStore::Insert exactly: intern s, p, o per triple in input
+  // order (so new TermIds match the single-store path), drop triples the
+  // store already holds, sort + unique.
+  std::vector<Triple> fresh;
+  fresh.reserve(triples.size());
+  for (const auto& t : triples) {
+    Triple id_triple{dict_->Intern(t[0]), dict_->Intern(t[1]),
+                     dict_->Intern(t[2])};
+    ExtendOwners();
+    if (!Contains(id_triple.s, id_triple.p, id_triple.o)) {
+      fresh.push_back(id_triple);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  if (fresh.empty()) return 0;
+
+  // Route to owners; per-shard batches stay sorted/unique/disjoint, the
+  // InsertIds contract.
+  std::vector<std::vector<Triple>> by_shard(shards_.size());
+  for (const Triple& t : fresh) by_shard[owner_[t.s]].push_back(t);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!by_shard[i].empty()) shards_[i].InsertIds(std::move(by_shard[i]));
+  }
+  return fresh.size();
+}
+
+ShardedScanRange ShardedStore::Locate(TermId s, TermId p, TermId o) const {
+  ShardedScanRange out;
+  out.parts.resize(shards_.size());
+  if (s != kNullTermId) {
+    // Subject-bound: only the owning shard can hold matches.  Unknown ids
+    // (e.g. the evaluator's query-local VALUES overlay ids) match nothing.
+    routed_lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<size_t>(s) < owner_.size()) {
+      const size_t owner = owner_[s];
+      shard_lookups_[owner].fetch_add(1, std::memory_order_relaxed);
+      ScanRange r = shards_[owner].Locate(s, p, o);
+      out.perm = r.perm;
+      out.total = r.size();
+      for (size_t i = 0; i < out.parts.size(); ++i) {
+        out.parts[i] = ScanRange{r.perm, 0, 0};
+      }
+      out.parts[owner] = r;
+    }
+    return out;
+  }
+  // Fan out: the permutation choice depends only on the bound pattern, so
+  // every shard returns ranges in the same index.
+  fanout_lookups_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ScanRange r = shards_[i].Locate(s, p, o);
+    if (!r.empty()) {
+      shard_lookups_[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    out.perm = r.perm;
+    out.parts[i] = r;
+    out.total += r.size();
+  }
+  return out;
+}
+
+std::vector<ShardedScanRange> ShardedStore::Partition(
+    const ShardedScanRange& range, size_t max_parts) const {
+  std::vector<ShardedScanRange> out;
+  if (range.total == 0 || max_parts == 0) return out;
+  const size_t k = std::min(max_parts, range.total);
+  const Perm perm = range.perm;
+  const size_t n = shards_.size();
+
+  size_t nonempty = 0;
+  size_t last = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!range.parts[i].empty()) {
+      ++nonempty;
+      last = i;
+    }
+  }
+  if (nonempty == 1) {
+    // One live shard: reuse the contiguous integer split.
+    for (const ScanRange& slice :
+         TripleStore::Partition(range.parts[last], k)) {
+      ShardedScanRange morsel;
+      morsel.perm = perm;
+      morsel.parts.assign(n, ScanRange{perm, 0, 0});
+      morsel.parts[last] = slice;
+      morsel.total = slice.size();
+      out.push_back(std::move(morsel));
+    }
+    return out;
+  }
+  if (k == 1) {
+    out.push_back(range);
+    return out;
+  }
+
+  // Candidate boundary keys: per-shard quantile positions.  Cutting every
+  // shard at the same key keeps each morsel a key interval, so the morsel
+  // merges concatenate into the full ordered merge.
+  using Key = std::tuple<TermId, TermId, TermId>;
+  std::vector<Key> cand;
+  cand.reserve(nonempty * (k - 1));
+  for (size_t i = 0; i < n; ++i) {
+    const ScanRange& part = range.parts[i];
+    if (part.empty()) continue;
+    const std::vector<Triple>& idx = shards_[i].index(perm);
+    for (size_t j = 1; j < k; ++j) {
+      const size_t pos = part.lo + part.size() * j / k;
+      if (pos > part.lo && pos < part.hi) {
+        cand.push_back(PermKey(perm, idx[pos]));
+      }
+    }
+  }
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  std::vector<Key> bounds;
+  if (cand.size() <= k - 1) {
+    bounds = std::move(cand);
+  } else {
+    bounds.reserve(k - 1);
+    for (size_t j = 1; j < k; ++j) {
+      bounds.push_back(cand[cand.size() * j / k]);
+    }
+  }
+
+  std::vector<size_t> prev(n);
+  for (size_t i = 0; i < n; ++i) prev[i] = range.parts[i].lo;
+  auto emit = [&](const std::vector<size_t>& cut) {
+    ShardedScanRange morsel;
+    morsel.perm = perm;
+    morsel.parts.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      morsel.parts[i] = ScanRange{perm, prev[i], cut[i]};
+      morsel.total += cut[i] - prev[i];
+    }
+    if (morsel.total > 0) out.push_back(std::move(morsel));
+    prev = cut;
+  };
+  std::vector<size_t> cut(n);
+  for (const Key& b : bounds) {
+    const Triple probe =
+        TripleFromPermKey(perm, std::get<0>(b), std::get<1>(b), std::get<2>(b));
+    for (size_t i = 0; i < n; ++i) {
+      const ScanRange& part = range.parts[i];
+      const std::vector<Triple>& idx = shards_[i].index(perm);
+      cut[i] = static_cast<size_t>(
+          std::lower_bound(idx.begin() + part.lo, idx.begin() + part.hi, probe,
+                           PermLess{perm}) -
+          idx.begin());
+    }
+    emit(cut);
+  }
+  for (size_t i = 0; i < n; ++i) cut[i] = range.parts[i].hi;
+  emit(cut);
+  return out;
+}
+
+bool ShardedStore::Contains(TermId s, TermId p, TermId o) const {
+  if (s == kNullTermId || static_cast<size_t>(s) >= owner_.size()) {
+    return false;
+  }
+  return shards_[owner_[s]].Contains(s, p, o);
+}
+
+size_t ShardedStore::ApproxIndexBytes() const {
+  size_t bytes = dict_->ApproxBytes();
+  for (const TripleStore& s : shards_) bytes += s.ApproxIndexBytes();
+  return bytes;
+}
+
+}  // namespace kgqan::store

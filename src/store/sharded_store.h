@@ -1,0 +1,313 @@
+// Subject-hash-partitioned triple store: N in-process TripleStore shards
+// behind the same lookup API (wukong-style partitioning, in-process first;
+// socket transport is the ROADMAP follow-up).
+//
+// Byte-identity with the single-store path is structural, not statistical:
+//  - one shared TermDictionary means identical TermIds everywhere (and the
+//    evaluator's VALUES overlay base, MaxId()+1, is identical too);
+//  - permutation keys are globally unique (a PermKey permutes all three
+//    components of a distinct triple), so the k-way merge of per-shard
+//    sorted runs reproduces the single index order without ties;
+//  - Locate() range sizes sum to the single-store range size exactly, so
+//    the cardinality planner picks the same join order by construction;
+//  - Partition() cuts at shared key boundaries, so the morsel-merge
+//    discipline (PR 5) carries over unchanged.
+//
+// Single-subject patterns are routed to the owning shard; everything else
+// fans out.  Routing/fan-out/merge counters are plain relaxed atomics here
+// (the store layer must not depend on obs); serve::ShardedEndpoint publishes
+// them as sparql.shard.* metrics.
+
+#ifndef KGQAN_STORE_SHARDED_STORE_H_
+#define KGQAN_STORE_SHARDED_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term_dictionary.h"
+#include "store/triple_store.h"
+
+namespace kgqan::store {
+
+// Deterministic shard owner of a subject term: FNV-1a over the term's
+// content (kind + value + datatype + lang).  Independent of TermIds so the
+// assignment is stable across interning orders and processes.
+size_t SubjectShard(const rdf::Term& term, size_t num_shards);
+
+// Per-shard ScanRange sequence with inline storage: the evaluator's
+// probe-join fallback calls Locate once per input row, so the common
+// shard counts must not pay a heap allocation per probe.
+class ShardParts {
+ public:
+  static constexpr size_t kInline = 8;
+
+  void assign(size_t n, const ScanRange& value) {
+    size_ = n;
+    if (n > kInline) {
+      heap_.assign(n, value);
+      return;
+    }
+    heap_.clear();
+    for (size_t i = 0; i < n; ++i) inline_[i] = value;
+  }
+  void resize(size_t n) { assign(n, ScanRange{}); }
+
+  size_t size() const { return size_; }
+  ScanRange& operator[](size_t i) {
+    return size_ > kInline ? heap_[i] : inline_[i];
+  }
+  const ScanRange& operator[](size_t i) const {
+    return size_ > kInline ? heap_[i] : inline_[i];
+  }
+
+ private:
+  std::array<ScanRange, kInline> inline_{};
+  std::vector<ScanRange> heap_;
+  size_t size_ = 0;
+};
+
+// A located candidate set across shards: one ScanRange per shard, all in
+// the same permutation.  `total` is the summed width — the exact match
+// count, same contract as ScanRange::size() on a single store.
+struct ShardedScanRange {
+  Perm perm = Perm::kSpo;
+  ShardParts parts;  // indexed by shard
+  size_t total = 0;
+
+  size_t size() const { return total; }
+  bool empty() const { return total == 0; }
+};
+
+class ShardedStore {
+ public:
+  using Range = ShardedScanRange;
+
+  // Takes ownership of `graph`: its dictionary becomes the shared
+  // dictionary, its triples are partitioned by subject hash, and each
+  // shard's six permutation indexes are built (with `build_threads`-way
+  // parallel sorts per shard when > 1).
+  ShardedStore(rdf::Graph graph, size_t num_shards, size_t build_threads = 1);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  const rdf::TermDictionary& dictionary() const { return *dict_; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const TripleStore& shard(size_t i) const { return shards_[i]; }
+
+  // Total distinct triples across shards.
+  size_t size() const;
+
+  // Interns and inserts a batch, replicating TripleStore::Insert's global
+  // interning order exactly (so post-update TermIds match the single-store
+  // path), then routes each fresh triple to its owning shard.  Returns the
+  // number of genuinely new triples.
+  size_t Insert(const std::vector<std::array<rdf::Term, 3>>& triples);
+
+  // Chooses the permutation exactly as TripleStore::Locate (the choice
+  // depends only on the bound-component pattern, so it is identical across
+  // shards) and returns the per-shard ranges.  A bound subject routes to
+  // the owning shard; otherwise the lookup fans out to every shard.
+  ShardedScanRange Locate(TermId s, TermId p, TermId o) const;
+
+  // Calls `fn(triple)` for every match in global permutation-key order —
+  // byte-identical to the single-store visit sequence.  `fn` returns false
+  // to stop early.
+  template <typename Fn>
+  void Match(TermId s, TermId p, TermId o, Fn&& fn) const {
+    MatchRange(Locate(s, p, o), s, p, o, std::forward<Fn>(fn));
+  }
+
+  // Match restricted to `range` (a Locate() result or one of its
+  // Partition() morsels).  One live shard degrades to that shard's
+  // contiguous scan; otherwise the per-shard sorted runs are k-way merged
+  // by PermKey, which reproduces the single-store index order (keys are
+  // globally unique, so the merge is tie-free).
+  template <typename Fn>
+  void MatchRange(const ShardedScanRange& range, TermId s, TermId p, TermId o,
+                  Fn&& fn) const {
+    size_t nonempty = 0;
+    size_t last = 0;
+    for (size_t i = 0; i < range.parts.size(); ++i) {
+      if (!range.parts[i].empty()) {
+        ++nonempty;
+        last = i;
+      }
+    }
+    if (nonempty == 0) return;
+    if (nonempty == 1) {
+      shards_[last].MatchRange(range.parts[last], s, p, o,
+                               std::forward<Fn>(fn));
+      return;
+    }
+    merged_scans_.fetch_add(1, std::memory_order_relaxed);
+
+    // Run-based merge.  Subject-hash partitioning keeps one subject's
+    // triples in one shard, so in any permutation the winning cursor owns
+    // a contiguous *run* of the merged order (at least that subject's
+    // group).  Instead of re-comparing keys per row, each round picks the
+    // minimum cursor, gallops to the end of its run — the first position
+    // whose key passes the runner-up's cached key — and flat-scans the
+    // run exactly like the single-store MatchRange.  Per-row merge
+    // overhead is then O(log run / run), near zero for real runs.
+    struct Cursor {
+      const std::vector<Triple>* idx;
+      size_t pos;
+      size_t hi;
+      uint64_t key_hi;  // (k1 << 32) | k2 of the current PermKey.
+      TermId key_lo;    // k3.
+    };
+    const Perm perm = range.perm;
+    auto load_key = [perm](Cursor& c) {
+      const auto [k1, k2, k3] = PermKey(perm, (*c.idx)[c.pos]);
+      c.key_hi = (uint64_t{k1} << 32) | k2;
+      c.key_lo = k3;
+    };
+    auto key_less = [](const Cursor& a, const Cursor& b) {
+      return a.key_hi != b.key_hi ? a.key_hi < b.key_hi
+                                  : a.key_lo < b.key_lo;
+    };
+    // First position in (lo, hi) whose key exceeds (bound_hi, bound_lo):
+    // galloping bracket, then binary search inside it.  Keys are globally
+    // unique, so "below the bound" is a strict, exact test.
+    auto run_end = [perm](const std::vector<Triple>& idx, size_t lo,
+                          size_t hi, uint64_t bound_hi, TermId bound_lo) {
+      auto below = [&](size_t i) {
+        const auto [k1, k2, k3] = PermKey(perm, idx[i]);
+        const uint64_t khi = (uint64_t{k1} << 32) | k2;
+        return khi != bound_hi ? khi < bound_hi : k3 < bound_lo;
+      };
+      // Linear probe first: runs are usually just one subject group (a
+      // few rows), so the boundary is almost always within reach and a
+      // gallop's extra probes would cost more than they save.
+      constexpr size_t kLinearProbe = 8;
+      const size_t linear_hi = std::min(hi, lo + kLinearProbe);
+      size_t cur = lo + 1;  // idx[lo] is the winner: known below the bound.
+      for (; cur < linear_hi; ++cur) {
+        if (!below(cur)) return cur;
+      }
+      if (cur >= hi) return hi;
+      if (!below(cur)) return cur;
+      size_t step = 1;
+      while (cur + step < hi && below(cur + step)) {
+        cur += step;
+        step <<= 1;
+      }
+      size_t l = cur + 1;
+      size_t r = std::min(hi, cur + step);
+      while (l < r) {
+        const size_t m = l + (r - l) / 2;
+        if (below(m)) {
+          l = m + 1;
+        } else {
+          r = m;
+        }
+      }
+      return l;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(nonempty);
+    for (size_t i = 0; i < range.parts.size(); ++i) {
+      const ScanRange& part = range.parts[i];
+      if (part.empty()) continue;
+      cursors.push_back(
+          Cursor{&shards_[i].index(range.perm), part.lo, part.hi, 0, 0});
+      load_key(cursors.back());
+    }
+    while (!cursors.empty()) {
+      size_t best = 0;
+      size_t second = SIZE_MAX;
+      for (size_t c = 1; c < cursors.size(); ++c) {
+        if (key_less(cursors[c], cursors[best])) {
+          second = best;
+          best = c;
+        } else if (second == SIZE_MAX ||
+                   key_less(cursors[c], cursors[second])) {
+          second = c;
+        }
+      }
+      Cursor& winner = cursors[best];
+      const size_t end =
+          second == SIZE_MAX
+              ? winner.hi
+              : run_end(*winner.idx, winner.pos, winner.hi,
+                        cursors[second].key_hi, cursors[second].key_lo);
+      for (size_t i = winner.pos; i < end; ++i) {
+        const Triple& t = (*winner.idx)[i];
+        // Residual check, mirroring TripleStore::MatchRange.
+        if ((s == kNullTermId || t.s == s) &&
+            (p == kNullTermId || t.p == p) &&
+            (o == kNullTermId || t.o == o)) {
+          if (!fn(t)) return;
+        }
+      }
+      winner.pos = end;
+      if (end >= winner.hi) {
+        cursors[best] = cursors.back();
+        cursors.pop_back();
+      } else {
+        load_key(winner);
+      }
+    }
+  }
+
+  // Splits `range` into at most `max_parts` morsels that cover it exactly
+  // and in key order.  Cuts are made at shared permutation-key boundaries
+  // (per-shard lower_bound of the same key), so concatenating the morsels'
+  // MatchRange merges reproduces the full merge — the invariant the
+  // evaluator's ordered morsel merge relies on.
+  std::vector<ShardedScanRange> Partition(const ShardedScanRange& range,
+                                          size_t max_parts) const;
+
+  // Exact match count: the summed per-shard range widths (each exact, same
+  // argument as TripleStore::EstimateMatches) — so the planner sees the
+  // same cardinalities as on the single store.
+  size_t EstimateMatches(TermId s, TermId p, TermId o) const {
+    return Locate(s, p, o).total;
+  }
+
+  // True if the fully bound triple exists (answered by the owning shard).
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  // Approximate bytes: shared dictionary + all shard indexes.
+  size_t ApproxIndexBytes() const;
+
+  // Routing statistics (relaxed; include planner estimate probes).
+  uint64_t routed_lookups() const {
+    return routed_lookups_.load(std::memory_order_relaxed);
+  }
+  uint64_t fanout_lookups() const {
+    return fanout_lookups_.load(std::memory_order_relaxed);
+  }
+  uint64_t merged_scans() const {
+    return merged_scans_.load(std::memory_order_relaxed);
+  }
+  uint64_t shard_lookups(size_t i) const {
+    return shard_lookups_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Grows owner_ to cover every interned id (called after interning).
+  void ExtendOwners();
+
+  size_t num_shards_ = 1;
+  std::unique_ptr<rdf::TermDictionary> dict_;
+  std::vector<TripleStore> shards_;
+  // owner_[id] = shard owning triples whose subject is `id`; computed for
+  // every interned term so bound-subject lookups route in O(1).
+  std::vector<uint8_t> owner_;
+
+  mutable std::atomic<uint64_t> routed_lookups_{0};
+  mutable std::atomic<uint64_t> fanout_lookups_{0};
+  mutable std::atomic<uint64_t> merged_scans_{0};
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> shard_lookups_;
+};
+
+}  // namespace kgqan::store
+
+#endif  // KGQAN_STORE_SHARDED_STORE_H_

@@ -8,39 +8,8 @@
 
 namespace kgqan::store {
 
-namespace {
-
-// Key extractor per permutation: returns (k1, k2, k3).
-std::tuple<TermId, TermId, TermId> Key(Perm perm, const Triple& t) {
-  switch (perm) {
-    case Perm::kSpo:
-      return {t.s, t.p, t.o};
-    case Perm::kSop:
-      return {t.s, t.o, t.p};
-    case Perm::kPso:
-      return {t.p, t.s, t.o};
-    case Perm::kPos:
-      return {t.p, t.o, t.s};
-    case Perm::kOsp:
-      return {t.o, t.s, t.p};
-    case Perm::kOps:
-      return {t.o, t.p, t.s};
-  }
-  return {0, 0, 0};
-}
-
-struct PermLess {
-  Perm perm;
-  bool operator()(const Triple& a, const Triple& b) const {
-    return Key(perm, a) < Key(perm, b);
-  }
-};
-
-}  // namespace
-
-TripleStore::TripleStore(rdf::Graph graph, size_t build_threads)
-    : graph_(std::move(graph)) {
-  std::vector<Triple> base(graph_.triples().begin(), graph_.triples().end());
+void TripleStore::BuildIndexes(std::vector<Triple> base,
+                               size_t build_threads) {
   std::sort(base.begin(), base.end());
   base.erase(std::unique(base.begin(), base.end()), base.end());
   indexes_[0] = std::move(base);  // SPO is the canonical sort order.
@@ -60,6 +29,19 @@ TripleStore::TripleStore(rdf::Graph graph, size_t build_threads)
   }
 }
 
+TripleStore::TripleStore(rdf::Graph graph, size_t build_threads)
+    : graph_(std::move(graph)) {
+  BuildIndexes({graph_.triples().begin(), graph_.triples().end()},
+               build_threads);
+}
+
+TripleStore::TripleStore(std::vector<Triple> triples,
+                         const rdf::TermDictionary* shared_dictionary,
+                         size_t build_threads)
+    : shared_dict_(shared_dictionary) {
+  BuildIndexes(std::move(triples), build_threads);
+}
+
 size_t TripleStore::Insert(
     const std::vector<std::array<rdf::Term, 3>>& triples) {
   // Intern and deduplicate the batch against the existing store.
@@ -75,8 +57,11 @@ size_t TripleStore::Insert(
   }
   std::sort(fresh.begin(), fresh.end());
   fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
-  if (fresh.empty()) return 0;
+  return InsertIds(std::move(fresh));
+}
 
+size_t TripleStore::InsertIds(std::vector<Triple> fresh) {
+  if (fresh.empty()) return 0;
   for (size_t i = 0; i < 6; ++i) {
     Perm perm = static_cast<Perm>(i);
     std::vector<Triple> batch = fresh;
@@ -142,8 +127,8 @@ ScanRange TripleStore::Locate(TermId s, TermId p, TermId o) const {
   const std::vector<Triple>& idx = indexes_[static_cast<size_t>(perm)];
   Triple probe{s, p, o};
   auto cmp = [perm, prefix](const Triple& a, const Triple& b) {
-    auto ka = Key(perm, a);
-    auto kb = Key(perm, b);
+    auto ka = PermKey(perm, a);
+    auto kb = PermKey(perm, b);
     if (std::get<0>(ka) != std::get<0>(kb)) {
       return std::get<0>(ka) < std::get<0>(kb);
     }

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include "rdf/graph.h"
@@ -26,6 +27,55 @@ using rdf::Triple;
 // Identifiers for the six permutations.  The enum value is the index into
 // the internal index array.
 enum class Perm : uint8_t { kSpo = 0, kSop, kPso, kPos, kOsp, kOps };
+
+// Key extractor per permutation: the (k1, k2, k3) sort key of a triple in
+// that index.  Keys are globally unique within one logical triple set (a
+// permutation key permutes all three components of a distinct triple), so
+// per-shard sorted runs merge into the single-store index order without
+// ties — the property ShardedStore's ordered merge relies on.
+inline std::tuple<TermId, TermId, TermId> PermKey(Perm perm, const Triple& t) {
+  switch (perm) {
+    case Perm::kSpo:
+      return {t.s, t.p, t.o};
+    case Perm::kSop:
+      return {t.s, t.o, t.p};
+    case Perm::kPso:
+      return {t.p, t.s, t.o};
+    case Perm::kPos:
+      return {t.p, t.o, t.s};
+    case Perm::kOsp:
+      return {t.o, t.s, t.p};
+    case Perm::kOps:
+      return {t.o, t.p, t.s};
+  }
+  return {0, 0, 0};
+}
+
+// Inverse of PermKey: the triple whose PermKey under `perm` is (k1, k2, k3).
+inline Triple TripleFromPermKey(Perm perm, TermId k1, TermId k2, TermId k3) {
+  switch (perm) {
+    case Perm::kSpo:
+      return {k1, k2, k3};
+    case Perm::kSop:
+      return {k1, k3, k2};
+    case Perm::kPso:
+      return {k2, k1, k3};
+    case Perm::kPos:
+      return {k3, k1, k2};
+    case Perm::kOsp:
+      return {k2, k3, k1};
+    case Perm::kOps:
+      return {k3, k2, k1};
+  }
+  return {};
+}
+
+struct PermLess {
+  Perm perm;
+  bool operator()(const Triple& a, const Triple& b) const {
+    return PermKey(perm, a) < PermKey(perm, b);
+  }
+};
 
 // A contiguous run of candidate triples in one permutation index: the
 // sorted [lo, hi) range whose key prefix matches a lookup pattern.  Every
@@ -42,11 +92,23 @@ struct ScanRange {
 
 class TripleStore {
  public:
+  // The scan-range type evaluation code should name (ShardedStore exposes
+  // its own Range; the evaluator is generic over both).
+  using Range = ScanRange;
+
   // Takes ownership of `graph`; duplicates are removed while indexing.
   // `build_threads` > 1 sorts the six permutation indexes in parallel on a
   // transient pool (identical indexes, faster load for big KGs); 1 is the
   // unchanged serial build.
   explicit TripleStore(rdf::Graph graph, size_t build_threads = 1);
+
+  // Shard constructor: indexes pre-interned id-triples against an external
+  // dictionary owned by the caller (ShardedStore), which must outlive the
+  // store.  Interning calls (Insert) are the owner's job; use InsertIds for
+  // updates.
+  TripleStore(std::vector<Triple> triples,
+              const rdf::TermDictionary* shared_dictionary,
+              size_t build_threads = 1);
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
@@ -54,7 +116,7 @@ class TripleStore {
   TripleStore& operator=(TripleStore&&) = default;
 
   const rdf::TermDictionary& dictionary() const {
-    return graph_.dictionary();
+    return shared_dict_ != nullptr ? *shared_dict_ : graph_.dictionary();
   }
   rdf::TermDictionary& mutable_dictionary() { return graph_.dictionary(); }
 
@@ -65,6 +127,11 @@ class TripleStore {
   // dictionary; duplicates are ignored).  Each permutation index is merged
   // in O(existing + new).  Returns the number of genuinely new triples.
   size_t Insert(const std::vector<std::array<rdf::Term, 3>>& triples);
+
+  // Id-level insert for pre-interned triples (the shard update path):
+  // `fresh` must be sorted, unique, and disjoint from the store.  Each
+  // permutation index is merged in O(existing + new).
+  size_t InsertIds(std::vector<Triple> fresh);
 
   // Removes every triple matching the pattern (kNullTermId components are
   // wildcards).  Returns the number of removed triples.  Dictionary
@@ -127,6 +194,13 @@ class TripleStore {
   // True if the fully bound triple exists.
   bool Contains(TermId s, TermId p, TermId o) const;
 
+  // Direct read access to one permutation index (sorted by PermKey) — the
+  // substrate of ShardedStore's cross-shard ordered merge and key-boundary
+  // partitioning.
+  const std::vector<Triple>& index(Perm perm) const {
+    return indexes_[static_cast<size_t>(perm)];
+  }
+
   // Distinct predicates appearing in triples with subject `v`
   // (outgoingPredicate(v) of Sec. 5.2) / with object `v`
   // (incomingPredicate(v)).
@@ -134,10 +208,11 @@ class TripleStore {
   std::vector<TermId> IncomingPredicates(TermId v) const;
 
   // Approximate bytes held by the store: the actual capacity of each of
-  // the six permutation indexes plus the term dictionary (which the store
-  // owns and whose strings are most of a KG's footprint).
+  // the six permutation indexes plus the term dictionary when the store
+  // owns it (a shard's shared dictionary is accounted by its owner).
   size_t ApproxIndexBytes() const {
-    size_t bytes = graph_.dictionary().ApproxBytes();
+    size_t bytes =
+        shared_dict_ == nullptr ? graph_.dictionary().ApproxBytes() : 0;
     for (const std::vector<Triple>& index : indexes_) {
       bytes += index.capacity() * sizeof(Triple);
     }
@@ -145,7 +220,14 @@ class TripleStore {
   }
 
  private:
+  // Sorts/dedups `base` into the canonical SPO index and builds the five
+  // other permutations from it.
+  void BuildIndexes(std::vector<Triple> base, size_t build_threads);
+
   rdf::Graph graph_;
+  // Externally owned dictionary of a ShardedStore shard; null when the
+  // store owns its own terms (graph_).
+  const rdf::TermDictionary* shared_dict_ = nullptr;
   // indexes_[Perm]; each holds all triples sorted in that key order.
   std::array<std::vector<Triple>, 6> indexes_;
 };

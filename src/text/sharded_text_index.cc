@@ -1,0 +1,76 @@
+#include "text/sharded_text_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kgqan::text {
+
+ShardedTextIndex::ShardedTextIndex(const store::ShardedStore& store) {
+  Rebuild(store);
+}
+
+void ShardedTextIndex::Rebuild(const store::ShardedStore& store) {
+  shards_.clear();
+  shards_.reserve(store.num_shards());
+  for (size_t i = 0; i < store.num_shards(); ++i) {
+    shards_.push_back(std::make_unique<TextIndex>(store.shard(i)));
+  }
+}
+
+std::vector<rdf::TermId> ShardedTextIndex::MatchLiterals(
+    const ContainsQuery& query, size_t limit) const {
+  if (shards_.size() == 1) return shards_[0]->MatchLiterals(query, limit);
+
+  // Fan the probe out.  Each shard's top-`limit` suffices: a literal in the
+  // global top-k ranks at least as high within any shard that holds it.
+  std::vector<std::vector<std::pair<uint32_t, rdf::TermId>>> per_shard(
+      shards_.size());
+  auto probe = [&](size_t i) {
+    per_shard[i] = shards_[i]->MatchLiteralsScored(query, limit);
+  };
+  if (probe_pool_ != nullptr && shards_.size() > 1) {
+    util::ParallelFor(probe_pool_, shards_.size(), probe);
+  } else {
+    for (size_t i = 0; i < shards_.size(); ++i) probe(i);
+  }
+
+  std::vector<std::pair<uint32_t, rdf::TermId>> merged;
+  for (const auto& ranked : per_shard) {
+    merged.insert(merged.end(), ranked.begin(), ranked.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  // Duplicates (one literal held by several shards) carry identical scores,
+  // so they are adjacent now.
+  merged.erase(std::unique(merged.begin(), merged.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.second == b.second;
+                           }),
+               merged.end());
+  if (merged.size() > limit) merged.resize(limit);
+
+  std::vector<rdf::TermId> out;
+  out.reserve(merged.size());
+  for (const auto& [hits, id] : merged) {
+    (void)hits;
+    out.push_back(id);
+  }
+  return out;
+}
+
+size_t ShardedTextIndex::posting_count() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->posting_count();
+  return total;
+}
+
+size_t ShardedTextIndex::ApproxIndexBytes() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->ApproxIndexBytes();
+  return total;
+}
+
+}  // namespace kgqan::text

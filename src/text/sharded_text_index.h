@@ -1,0 +1,64 @@
+// Per-shard full-text indexes over a ShardedStore, merged rank-stably.
+//
+// Each shard of a store::ShardedStore gets its own TextIndex over the
+// literals it holds.  `bif:contains` probes fan out to every shard
+// (concurrently when a probe pool is configured) and the per-shard top-k
+// lists are merged by (hits desc, id asc) — the exact single-index ranking,
+// because scores are literal-local and ties break on the shared TermId.  A
+// literal reachable from subjects in several shards appears in several
+// shard indexes with an identical score, so duplicates are adjacent after
+// the merge sort and a single dedup pass restores the global candidate set.
+
+#ifndef KGQAN_TEXT_SHARDED_TEXT_INDEX_H_
+#define KGQAN_TEXT_SHARDED_TEXT_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "store/sharded_store.h"
+#include "text/text_index.h"
+#include "util/thread_pool.h"
+
+namespace kgqan::text {
+
+class ShardedTextIndex {
+ public:
+  // Indexes every shard of `store`; the store must outlive the index.
+  explicit ShardedTextIndex(const store::ShardedStore& store);
+
+  ShardedTextIndex(const ShardedTextIndex&) = delete;
+  ShardedTextIndex& operator=(const ShardedTextIndex&) = delete;
+
+  // Re-indexes all shards (after ShardedStore::Insert).  Not thread-safe
+  // against probes — callers serialize via their data lock, same as the
+  // single-store text index rebuild.
+  void Rebuild(const store::ShardedStore& store);
+
+  // Pool used to fan probes out to shards concurrently; null (default)
+  // probes serially.  The merge is by shard index, so the result is
+  // identical either way.
+  void set_probe_pool(util::ThreadPool* pool) { probe_pool_ = pool; }
+
+  // Single-index semantics: ids of literals satisfying `query`, ranked
+  // (hits desc, id asc), truncated to `limit`.
+  std::vector<rdf::TermId> MatchLiterals(const ContainsQuery& query,
+                                         size_t limit) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const TextIndex& shard(size_t i) const { return *shards_[i]; }
+
+  // Summed (token -> literal) postings across shards (a literal spanning
+  // shards is counted per shard, like any partitioned index).
+  size_t posting_count() const;
+
+  // Approximate heap footprint across shards.
+  size_t ApproxIndexBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<TextIndex>> shards_;
+  util::ThreadPool* probe_pool_ = nullptr;
+};
+
+}  // namespace kgqan::text
+
+#endif  // KGQAN_TEXT_SHARDED_TEXT_INDEX_H_

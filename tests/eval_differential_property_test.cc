@@ -277,7 +277,7 @@ TEST(EvalDifferentialPropertyTest, AllModesByteIdentical) {
     uint64_t round_seed = master.Next();
     benchgen::BuiltKg kg = BuildKgForRound(round, round_seed);
     KgQueryGen gen(kg, round_seed);
-    Endpoint ep("eval-diff", std::move(kg.graph));
+    LocalEndpoint ep("eval-diff", std::move(kg.graph));
     for (int c = 0; c < kCasesPerKg; ++c) {
       Query query = gen.RandQuery();
       EvalOptions serial;
@@ -311,7 +311,7 @@ TEST(EvalDifferentialPropertyTest, AllModesByteIdentical) {
 TEST(EvalDifferentialPropertyTest, RowCapTruncatesIdenticallyInEveryMode) {
   benchgen::BuiltKg kg =
       benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 77);
-  Endpoint ep("eval-diff-cap", std::move(kg.graph));
+  LocalEndpoint ep("eval-diff-cap", std::move(kg.graph));
   util::ThreadPool pool(6);
 
   Query query;
@@ -357,7 +357,7 @@ TEST(EvalDifferentialPropertyTest, AnswerCacheHitsAreModeIndependent) {
   benchgen::BuiltKg kg = benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia,
                                                   0.05, master.Next());
   KgQueryGen gen(kg, master.Next());
-  Endpoint ep("eval-diff-cache", std::move(kg.graph));
+  LocalEndpoint ep("eval-diff-cache", std::move(kg.graph));
   util::ThreadPool pool(7);
   core::AnswerCache cache(256);
 

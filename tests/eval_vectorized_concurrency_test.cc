@@ -50,7 +50,7 @@ std::vector<std::string> BatchHappyQueries() {
 TEST(EvalVectorizedConcurrencyTest, ConcurrentVectorizedQueriesMatchSerial) {
   benchgen::BuiltKg kg =
       benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 4321);
-  Endpoint ep("vec-conc", std::move(kg.graph));
+  LocalEndpoint ep("vec-conc", std::move(kg.graph));
   // Configuration phase (before any query): vectorized batches of an odd
   // width, composed with three-way sharding forced onto the tiny KG.
   ep.set_vectorized_eval(true, 7);
@@ -97,7 +97,7 @@ TEST(EvalVectorizedConcurrencyTest, ConcurrentVectorizedQueriesMatchSerial) {
 TEST(EvalVectorizedConcurrencyTest, DeadlineStormNeverCorruptsResults) {
   benchgen::BuiltKg kg =
       benchgen::BuildGeneralKg(benchgen::KgFlavor::kYago, 0.05, 86);
-  Endpoint ep("vec-storm", std::move(kg.graph));
+  LocalEndpoint ep("vec-storm", std::move(kg.graph));
   ep.set_vectorized_eval(true, 1);  // Batch boundary after every work unit.
   ep.set_intra_query_threads(3);
   ep.mutable_eval_options().min_shard_work = 0;
@@ -163,7 +163,7 @@ TEST(EvalVectorizedConcurrencyTest, MidBatchDeadlineCancellationIsObserved) {
                 "http://x/s" + std::to_string((i + j) % 40));
     }
   }
-  Endpoint ep("vec-deadline", std::move(g));
+  LocalEndpoint ep("vec-deadline", std::move(g));
   ep.set_vectorized_eval(true, 1);
   // Every batch boundary sleeps, so a wildcard join crawls: the 2ms
   // deadline can only be honoured by the per-batch poll.
@@ -207,7 +207,7 @@ TEST(EvalVectorizedConcurrencyTest, RacingUpdatesNeverPolluteAnswerCache) {
     g.AddIris("http://x/e" + std::to_string(i), "http://x/p",
               "http://x/e" + std::to_string((i + 1) % 50));
   }
-  Endpoint ep("vec-update", std::move(g));
+  LocalEndpoint ep("vec-update", std::move(g));
   ep.set_vectorized_eval(true, 7);
   core::AnswerCache cache(64);
 

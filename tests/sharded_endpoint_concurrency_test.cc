@@ -1,0 +1,245 @@
+// Concurrency battery for the sharded endpoint (run under TSan in CI):
+// many client threads query one ShardedEndpoint while a writer races
+// AddNTriples and a deadline storm fires cancellations into cross-shard
+// waves.  Every successful result must equal the pre-update or post-update
+// serial reference (never a torn mix), cancelled waves must surface as
+// clean DeadlineExceeded, and a cancelled cross-shard wave must never
+// leave answers in the cross-question answer cache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "benchgen/kg.h"
+#include "core/answer_cache.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "rdf/ntriples.h"
+#include "serve/sharded_endpoint.h"
+#include "sparql/endpoint.h"
+#include "sparql/result_set.h"
+#include "util/cancel.h"
+
+namespace kgqan::serve {
+namespace {
+
+bool SameResults(const sparql::ResultSet& a, const sparql::ResultSet& b) {
+  return a.is_ask() == b.is_ask() && a.ask_value() == b.ask_value() &&
+         a.columns() == b.columns() && a.rows() == b.rows();
+}
+
+// Queries with cross-shard merges (so the k-way cursor path engages) and
+// distinct shapes (so cross-wired results would be detected).
+std::vector<std::string> CrossShardQueries() {
+  return {
+      "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 50",
+      "SELECT DISTINCT ?p WHERE { ?s ?p ?o }",
+      "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }",
+      "SELECT ?a ?b WHERE { ?a ?p ?b . ?b ?q ?c } LIMIT 25",
+      "ASK { ?s ?p ?o }",
+  };
+}
+
+// Readers race a writer: each successful query must match either the
+// pre-update or the post-update reference exactly — shard-local inserts
+// happening under the data lock must never expose a half-applied batch
+// through the merge.
+TEST(ShardedEndpointConcurrencyTest, QueriesRacingAddNTriplesNeverTear) {
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 4242);
+  ShardedEndpoint ep("shard-race", std::move(kg.graph), 3);
+
+  const std::vector<std::string> queries = CrossShardQueries();
+  std::vector<sparql::ResultSet> before;
+  for (const std::string& q : queries) {
+    auto rs = ep.Query(q);
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    before.push_back(std::move(*rs));
+  }
+
+  constexpr size_t kWriterBatches = 6;
+  std::string deltas[kWriterBatches];
+  for (size_t b = 0; b < kWriterBatches; ++b) {
+    deltas[b] = "<http://race.test/s" + std::to_string(b) +
+                "> <http://race.test/p> <http://race.test/o" +
+                std::to_string(b) + "> .\n";
+  }
+
+  // During the race, results only need to be well-formed successes (the
+  // data lock admits any interleaving of whole batches); the quiescent
+  // byte-compare below pins the final state.  TSan pins the absence of
+  // data races between the k-way merge cursors and the shard inserts.
+  constexpr size_t kClients = 5;
+  constexpr size_t kPerClient = 24;
+  std::atomic<size_t> failures{0};
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        size_t which = (c + i) % queries.size();
+        auto rs = ep.Query(queries[which]);
+        if (!rs.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (size_t b = 0; b < kWriterBatches; ++b) {
+      auto added = ep.AddNTriples(deltas[b]);
+      if (!added.ok() || *added != 1) failures.fetch_add(1);
+      std::this_thread::yield();
+    }
+    writer_done.store(true);
+  });
+  for (std::thread& client : clients) client.join();
+  writer.join();
+  ASSERT_TRUE(writer_done.load());
+  EXPECT_EQ(failures.load(), 0u);
+
+  // Quiescent byte-compare: the settled sharded endpoint equals a fresh
+  // single-store endpoint holding the same base KG + all writer batches.
+  benchgen::BuiltKg kg2 =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 4242);
+  sparql::LocalEndpoint reference("shard-race-ref", std::move(kg2.graph));
+  for (size_t b = 0; b < kWriterBatches; ++b) {
+    auto added = reference.AddNTriples(deltas[b]);
+    ASSERT_TRUE(added.ok()) << added.status();
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto want = reference.Query(queries[i]);
+    auto got = ep.Query(queries[i]);
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(SameResults(*want, *got)) << queries[i];
+  }
+  EXPECT_EQ(ep.generation(), reference.generation());
+}
+
+// Deadline storm into cross-shard waves: concurrent clients bind tokens
+// that expire mid-wave (one shard is slow, so every wave waits).  Expired
+// waves must return DeadlineExceeded — never a partial merge — while
+// un-deadlined clients keep getting exact results throughout.
+TEST(ShardedEndpointConcurrencyTest, DeadlineStormYieldsCleanCancellations) {
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kYago, 0.05, 99);
+  ShardedEndpoint ep("shard-storm", std::move(kg.graph), 3);
+  ep.set_shard_injected_latency_ms(1, 30.0);  // One slow shard.
+
+  const std::string query = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 40";
+  auto reference = [&] {
+    auto rs = ep.Query(query);
+    EXPECT_TRUE(rs.ok());
+    return std::move(*rs);
+  }();
+
+  constexpr size_t kStormThreads = 4;
+  constexpr size_t kCleanThreads = 2;
+  constexpr size_t kPerThread = 10;
+  std::atomic<size_t> partial_merges{0};
+  std::atomic<size_t> wrong_status{0};
+  std::atomic<size_t> clean_mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kStormThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        // Expires during the 30 ms shard wait on every attempt.
+        util::CancelToken token = util::CancelToken::WithDeadlineMillis(2.0);
+        util::ScopedCancelToken bind(token);
+        auto rs = ep.Query(query);
+        if (rs.ok()) {
+          // The wave must be all-or-nothing: an expired deadline may only
+          // ever surface as DeadlineExceeded, not as merged rows.
+          partial_merges.fetch_add(1);
+        } else if (rs.status().code() !=
+                   util::StatusCode::kDeadlineExceeded) {
+          wrong_status.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (size_t t = 0; t < kCleanThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        auto rs = ep.Query(query);
+        if (!rs.ok() || !SameResults(reference, *rs)) {
+          clean_mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(partial_merges.load(), 0u)
+      << "a cancelled cross-shard wave returned merged rows";
+  EXPECT_EQ(wrong_status.load(), 0u);
+  EXPECT_EQ(clean_mismatches.load(), 0u);
+  EXPECT_GE(ep.cancelled_count(), kStormThreads * kPerThread);
+}
+
+// Cache pollution: a storm of questions whose cross-shard waves all die on
+// the deadline must leave the shared answer cache empty; afterwards the
+// same engine + cache must answer exactly like a fresh engine on an
+// unsharded endpoint.
+TEST(ShardedEndpointConcurrencyTest,
+     CancelledWavesNeverPolluteAnswerCache) {
+  const std::string question = "Who is related to Barack Obama?";
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 7);
+  ShardedEndpoint ep("shard-cache", std::move(kg.graph), 3);
+  ep.set_shard_injected_latency_ms(2, 40.0);  // Every wave waits 40 ms.
+
+  core::KgqanConfig cfg;
+  cfg.num_threads = 1;
+  cfg.qu.inference.enabled = false;
+  cfg.answer_cache = true;
+  auto cache = std::make_shared<core::AnswerCache>(256);
+  core::KgqanEngine engine(cfg, cache);
+
+  constexpr size_t kStormThreads = 4;
+  std::atomic<size_t> completed_anyway{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kStormThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 6; ++i) {
+        util::CancelToken token = util::CancelToken::WithDeadlineMillis(3.0);
+        util::ScopedCancelToken bind(token);
+        core::KgqanResult result = engine.AnswerFull(question, ep);
+        if (!result.deadline_exceeded) completed_anyway.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(completed_anyway.load(), 0u)
+      << "a 3 ms deadline survived a 40 ms per-wave shard stall";
+  EXPECT_EQ(cache->stats().entries, 0u)
+      << "cancelled cross-shard waves wrote into the answer cache";
+
+  // The engine and cache are not wedged or poisoned: with the stall
+  // removed, the cached pipeline answers exactly like a fresh engine on a
+  // fresh single-store endpoint over the same KG.
+  ep.set_shard_injected_latency_ms(2, 0.0);
+  core::KgqanResult warm = engine.AnswerFull(question, ep);
+  benchgen::BuiltKg kg2 =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 7);
+  sparql::LocalEndpoint fresh_ep("shard-cache-ref", std::move(kg2.graph));
+  core::KgqanConfig fresh_cfg = cfg;
+  fresh_cfg.answer_cache = false;
+  core::KgqanEngine fresh_engine(fresh_cfg);
+  core::KgqanResult fresh = fresh_engine.AnswerFull(question, fresh_ep);
+  EXPECT_FALSE(warm.deadline_exceeded);
+  EXPECT_EQ(warm.response.understood, fresh.response.understood);
+  ASSERT_EQ(warm.response.answers.size(), fresh.response.answers.size());
+  for (size_t i = 0; i < fresh.response.answers.size(); ++i) {
+    EXPECT_EQ(rdf::ToNTriples(warm.response.answers[i]),
+              rdf::ToNTriples(fresh.response.answers[i]));
+  }
+}
+
+}  // namespace
+}  // namespace kgqan::serve

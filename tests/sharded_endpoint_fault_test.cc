@@ -1,0 +1,134 @@
+// Fault injection against the sharded endpoint: one shard stalled past the
+// request deadline must turn every cross-shard wave into a clean
+// kDeadlineExceeded — all-or-nothing, never a partially merged answer —
+// while the serving front-end keeps the failure forensically retrievable
+// through the flight recorder and /slow.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchgen/kg.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "obs/trace.h"
+#include "serve/qa_server.h"
+#include "serve/sharded_endpoint.h"
+#include "sparql/result_set.h"
+#include "util/cancel.h"
+
+namespace kgqan::serve {
+namespace {
+
+core::KgqanConfig ServingConfig() {
+  core::KgqanConfig cfg;
+  cfg.num_threads = 1;
+  cfg.qu.inference.enabled = false;
+  return cfg;
+}
+
+// The endpoint-level contract: with shard 1 stalled 50 ms per wave and a
+// 2 ms token, the wave is abandoned during the slow shard's window — the
+// status is kDeadlineExceeded, no rows escape, and the endpoint counts a
+// cancellation (the exchange was issued, so traffic is still counted).
+TEST(ShardedEndpointFaultTest, SlowShardPastDeadlineAbandonsWholeWave) {
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 11);
+  ShardedEndpoint ep("shard-fault", std::move(kg.graph), 3);
+  const std::string query = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 30";
+
+  // Healthy baseline.
+  auto healthy = ep.Query(query);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  ASSERT_GT(healthy->NumRows(), 0u);
+
+  ep.set_shard_injected_latency_ms(1, 50.0);
+  size_t queries_before = ep.query_count();
+  size_t cancelled_before = ep.cancelled_count();
+  util::CancelToken token = util::CancelToken::WithDeadlineMillis(2.0);
+  {
+    util::ScopedCancelToken bind(token);
+    auto stalled = ep.Query(query);
+    ASSERT_FALSE(stalled.ok()) << "a merged answer escaped the dead wave";
+    EXPECT_EQ(stalled.status().code(), util::StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(ep.query_count(), queries_before + 1)
+      << "the exchange was issued, so it counts as traffic";
+  EXPECT_EQ(ep.cancelled_count(), cancelled_before + 1);
+
+  // Recovery is immediate once the shard heals: same bytes as before.
+  ep.set_shard_injected_latency_ms(1, 0.0);
+  auto recovered = ep.Query(query);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(healthy->columns(), recovered->columns());
+  EXPECT_EQ(healthy->rows(), recovered->rows());
+}
+
+// A generous deadline rides the stall out: the wave waits for the slowest
+// shard and then merges normally, byte-identical to the healthy run.
+TEST(ShardedEndpointFaultTest, GenerousDeadlineRidesOutTheSlowShard) {
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 11);
+  ShardedEndpoint ep("shard-slowok", std::move(kg.graph), 3);
+  const std::string query = "SELECT DISTINCT ?p WHERE { ?s ?p ?o }";
+  auto healthy = ep.Query(query);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+
+  ep.set_shard_injected_latency_ms(0, 20.0);
+  util::CancelToken token = util::CancelToken::WithDeadlineMillis(60'000.0);
+  util::ScopedCancelToken bind(token);
+  auto slow = ep.Query(query);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(healthy->columns(), slow->columns());
+  EXPECT_EQ(healthy->rows(), slow->rows());
+}
+
+// The serving acceptance scenario: a question whose cross-shard waves die
+// on a stalled shard must come back deadline_exceeded with no answers, and
+// the flight recorder (and /slow) must hold the record.  Timing-dependent,
+// so the stall dwarfs the deadline by an order of magnitude.
+TEST(ShardedEndpointFaultTest, StalledShardQuestionRetrievableFromSlow) {
+  const std::string question = "Who is related to Barack Obama?";
+  benchgen::BuiltKg kg =
+      benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 11);
+  ShardedEndpoint ep("shard-slowq", std::move(kg.graph), 3);
+  ep.set_shard_injected_latency_ms(2, 60.0);
+
+  core::KgqanEngine engine(ServingConfig());
+  QaServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  options.trace_sample_every = 1;  // Sample everything (test determinism).
+  options.trace_sample_per_sec = 0.0;
+  options.slow_question_ms = 0.0;  // Record everything.
+  options.admin_port = 0;          // Ephemeral.
+  QaServer server(&engine, &ep, options);
+
+  auto response = server.Ask(question, /*deadline_ms=*/5.0);
+  ASSERT_TRUE(response.ok()) << response.status();
+  server.Drain();
+  EXPECT_TRUE(response->deadline_exceeded)
+      << "a 5 ms deadline survived 60 ms per-wave shard stalls";
+  EXPECT_TRUE(response->result.response.answers.empty())
+      << "partial merged answers escaped a dead cross-shard wave";
+  EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+
+  // Forensics: the flight recorder holds the question with its status...
+  ASSERT_NE(server.flight_recorder(), nullptr);
+  bool recorded = false;
+  for (const auto& record : server.flight_recorder()->Snapshot()) {
+    if (record->question != question) continue;
+    recorded = true;
+    EXPECT_EQ(record->status, "deadline_exceeded");
+  }
+  EXPECT_TRUE(recorded);
+  // ...and /slow serves it.
+  std::string slow = server.HandleAdmin("/slow").body;
+  EXPECT_NE(slow.find("deadline_exceeded"), std::string::npos) << slow;
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace kgqan::serve

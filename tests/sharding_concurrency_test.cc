@@ -47,7 +47,7 @@ std::vector<std::string> ShardHappyQueries() {
 TEST(ShardingConcurrencyTest, ConcurrentShardedQueriesMatchSerialReference) {
   benchgen::BuiltKg kg =
       benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 1234);
-  Endpoint ep("shard-conc", std::move(kg.graph));
+  LocalEndpoint ep("shard-conc", std::move(kg.graph));
   // Configuration phase (before any query): three-way sharding with the
   // thresholds lowered so the small test KG still shards.
   ep.set_intra_query_threads(3);
@@ -95,7 +95,7 @@ TEST(ShardingConcurrencyTest, ConcurrentShardedQueriesMatchSerialReference) {
 TEST(ShardingConcurrencyTest, QaServerWorkersComposeWithIntraQuerySharding) {
   benchgen::BuiltKg kg =
       benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 99);
-  Endpoint ep("shard-serve", std::move(kg.graph));
+  LocalEndpoint ep("shard-serve", std::move(kg.graph));
 
   core::KgqanConfig cfg;
   cfg.num_threads = 2;

@@ -236,7 +236,7 @@ TEST(ShardingPropertyTest, SerialEqualsShardedAtEveryThreadCount) {
     uint64_t round_seed = master.Next();
     benchgen::BuiltKg kg = BuildKgForRound(round, round_seed);
     KgQueryGen gen(kg, round_seed);
-    Endpoint ep("shard-prop", std::move(kg.graph));
+    LocalEndpoint ep("shard-prop", std::move(kg.graph));
     for (int c = 0; c < kCasesPerKg; ++c) {
       Query query = gen.RandQuery();
       EvalOptions serial;
@@ -271,7 +271,7 @@ TEST(ShardingPropertyTest, SerialEqualsShardedAtEveryThreadCount) {
 TEST(ShardingPropertyTest, RowCapTruncatesIdenticallyUnderSharding) {
   benchgen::BuiltKg kg =
       benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.05, 77);
-  Endpoint ep("shard-cap", std::move(kg.graph));
+  LocalEndpoint ep("shard-cap", std::move(kg.graph));
   util::ThreadPool pool(6);
 
   Query query;

@@ -40,7 +40,7 @@ class ExtensionsTest : public ::testing::Test {
     return g;
   }
 
-  sparql::Endpoint endpoint_;
+  sparql::LocalEndpoint endpoint_;
 };
 
 // ---- ORDER BY / OFFSET ----
