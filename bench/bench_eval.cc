@@ -30,6 +30,7 @@
 #include "serve/sharded_endpoint.h"
 #include "sparql/endpoint.h"
 #include "sparql/result_set.h"
+#include "store/compact_store.h"
 #include "store/triple_store.h"
 #include "util/stopwatch.h"
 
@@ -55,6 +56,14 @@ constexpr Mode kModes[] = {
     {"both", 8, true},
 };
 
+// Mode labels of the compact-store differential rows (--store=compact).
+constexpr const char* kCompactModeNames[] = {
+    "compact-serial",
+    "compact-sharded",
+    "compact-vectorized",
+    "compact-both",
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +78,18 @@ int main(int argc, char** argv) {
   // see the converged floor of both columns, not scheduler noise.
   const std::string reps_flag = bench::ParseFlag(argc, argv, "reps");
   const int kReps = reps_flag.empty() ? 5 : std::stoi(reps_flag);
+  // `--store=compact` adds the compact (dictionary-compressed CSR, store
+  // v2) endpoint as a differential row per query: the same four modes,
+  // identity-checked against the same serial reference, plus snapshot
+  // write / mmap-load timings and the bytes comparison the CI
+  // store-bench-smoke gate checks.
+  const std::string store_flag = bench::ParseFlag(argc, argv, "store");
+  const bool compact_enabled = store_flag == "compact";
+  if (!store_flag.empty() && !compact_enabled && store_flag != "v1") {
+    std::fprintf(stderr, "unknown --store '%s' (v1|compact)\n",
+                 store_flag.c_str());
+    return 2;
+  }
 
   std::printf("Evaluation modes: serial vs sharded vs vectorized vs both "
               "(hardware threads on this host: %u)\n",
@@ -209,6 +230,60 @@ int main(int argc, char** argv) {
                 "evaluation inside the shards)\n",
                 endpoint_shards);
   }
+  // Optional compact-store differential endpoint over the identical graph.
+  std::unique_ptr<sparql::CompactEndpoint> compact_ep;
+  double compact_build_ms = 0.0;
+  double snapshot_write_ms = 0.0;
+  double snapshot_load_ms = 0.0;
+  size_t snapshot_bytes = 0;
+  if (compact_enabled) {
+    rdf::Graph g = benchgen::BuildScholarlyKg(benchgen::KgFlavor::kMag, scale,
+                                              42)
+                       .graph;
+    util::Stopwatch w;
+    compact_ep = std::make_unique<sparql::CompactEndpoint>(
+        "mag-eval-compact", std::move(g), ep_options);
+    compact_build_ms = w.ElapsedMillis();
+    compact_ep->mutable_eval_options().max_rows = 4'000'000;
+    // Cold-start satellite: persist the store once, then time a pure
+    // mmap load of the snapshot against the from-source rebuild above.
+    const std::string snap_path = "/tmp/bench_eval_compact.snap";
+    {
+      util::Stopwatch sw;
+      util::Status st = compact_ep->WriteSnapshot(snap_path);
+      snapshot_write_ms = sw.ElapsedMillis();
+      if (!st.ok()) {
+        std::fprintf(stderr, "snapshot write failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    {
+      util::Stopwatch sw;
+      store::CompactStore loaded;
+      util::Status st = loaded.LoadSnapshot(snap_path);
+      snapshot_load_ms = sw.ElapsedMillis();
+      if (!st.ok()) {
+        std::fprintf(stderr, "snapshot load failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      snapshot_bytes = loaded.index_bytes() + loaded.dict_bytes();
+    }
+    std::remove(snap_path.c_str());
+    std::printf("compact store: build %.1f ms, snapshot write %.1f ms, "
+                "mmap load %.2f ms (%.0fx faster than rebuild)\n",
+                compact_build_ms, snapshot_write_ms, snapshot_load_ms,
+                compact_build_ms /
+                    (snapshot_load_ms > 0.0 ? snapshot_load_ms : 0.001));
+    std::printf("compact bytes: %.1f MiB vs v1 %.1f MiB (%.2fx)\n",
+                static_cast<double>(compact_ep->ApproxIndexBytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(ep.store().ApproxIndexBytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(compact_ep->ApproxIndexBytes()) /
+                    static_cast<double>(ep.store().ApproxIndexBytes()));
+  }
   std::printf("index footprint: %.1f MiB "
               "(six permutation indexes + term dictionary)\n\n",
               static_cast<double>(ep.store().ApproxIndexBytes()) /
@@ -234,6 +309,8 @@ int main(int argc, char** argv) {
     std::printf("%-14s", spec.label);
     double by_mode[4] = {0, 0, 0, 0};
     size_t rows_by_mode[4] = {0, 0, 0, 0};
+    double compact_by_mode[4] = {0, 0, 0, 0};
+    size_t compact_rows[4] = {0, 0, 0, 0};
     double sharded_ms = 0.0;
     size_t sharded_rows = 0;
     ResultSet reference{std::vector<std::string>{}};
@@ -260,6 +337,28 @@ int main(int argc, char** argv) {
           all_identical = false;
         }
         if (rep == 0 || ms < by_mode[mi]) by_mode[mi] = ms;
+        if (compact_ep) {
+          // Same mode, compressed store: identical answers are part of
+          // the differential contract, so every cell is checked.
+          compact_ep->set_intra_query_threads(mode.threads);
+          compact_ep->set_vectorized_eval(mode.vectorized);
+          util::Stopwatch cw;
+          auto crs = compact_ep->Query(spec.text);
+          double cms = cw.ElapsedMillis();
+          if (!crs.ok()) {
+            std::printf("\ncompact query failed: %s\n",
+                        crs.status().message().c_str());
+            return 1;
+          }
+          compact_rows[mi] =
+              crs->is_ask() ? size_t{crs->ask_value()} : crs->NumRows();
+          if (rep == 0 && !SameResults(reference, *crs)) {
+            all_identical = false;
+          }
+          if (rep == 0 || cms < compact_by_mode[mi]) {
+            compact_by_mode[mi] = cms;
+          }
+        }
       }
       if (sharded_ep) {
         util::Stopwatch w;
@@ -288,6 +387,22 @@ int main(int argc, char** argv) {
     std::printf("  %7.2fx  %7.2fx\n",
                 by_mode[0] / (by_mode[2] > 0.0 ? by_mode[2] : 1.0),
                 by_mode[0] / (by_mode[3] > 0.0 ? by_mode[3] : 1.0));
+    if (compact_ep) {
+      std::printf("%-14s", "  + compact");
+      double worst_ratio = 1e9;
+      for (size_t mi = 0; mi < 4; ++mi) {
+        runs.push_back({spec.label, kCompactModeNames[mi],
+                        compact_by_mode[mi], compact_rows[mi]});
+        std::printf("  %7.2f ms", compact_by_mode[mi]);
+        const double ratio =
+            by_mode[mi] /
+            (compact_by_mode[mi] > 0.0 ? compact_by_mode[mi] : 0.001);
+        worst_ratio = std::min(worst_ratio, ratio);
+      }
+      if (sharded_ep) std::printf("  %10s", "");
+      // v1 ms / compact ms: >= 1.0 means compact is at least as fast.
+      std::printf("  worst v1/compact %.2fx\n", worst_ratio);
+    }
   }
   bench::PrintRule(rule_width);
   std::printf("all modes byte-identical to serial: %s\n",
@@ -307,6 +422,20 @@ int main(int argc, char** argv) {
     std::fprintf(out, "  \"endpoint_shards\": %zu,\n", endpoint_shards);
     std::fprintf(out, "  \"build_serial_ms\": %.3f,\n", build_serial_ms);
     std::fprintf(out, "  \"build_parallel_ms\": %.3f,\n", build_parallel_ms);
+    // Aggregate store footprint of the endpoint under test: the active
+    // store's bytes (compact when --store=compact), with the v1 bytes kept
+    // alongside so the CI compression gate can form the ratio.
+    std::fprintf(out, "  \"store_bytes\": %zu,\n",
+                 compact_ep ? compact_ep->ApproxIndexBytes()
+                            : ep.store().ApproxIndexBytes());
+    std::fprintf(out, "  \"v1_store_bytes\": %zu,\n",
+                 ep.store().ApproxIndexBytes());
+    if (compact_ep) {
+      std::fprintf(out, "  \"compact_build_ms\": %.3f,\n", compact_build_ms);
+      std::fprintf(out, "  \"snapshot_write_ms\": %.3f,\n", snapshot_write_ms);
+      std::fprintf(out, "  \"snapshot_load_ms\": %.3f,\n", snapshot_load_ms);
+      std::fprintf(out, "  \"snapshot_bytes\": %zu,\n", snapshot_bytes);
+    }
     std::fprintf(out, "  \"runs\": [\n");
     for (size_t i = 0; i < runs.size(); ++i) {
       std::fprintf(out,

@@ -85,13 +85,14 @@ int main(int argc, char** argv) {
   {
     rdf::Graph graph;
     for (size_t i = 0; i < bench.endpoint->num_store_shards(); ++i) {
-      const auto& store = bench.endpoint->store_shard(i);
-      const auto& dict = store.dictionary();
-      store.Match(rdf::kNullTermId, rdf::kNullTermId, rdf::kNullTermId,
-                  [&](const rdf::Triple& t) {
-                    graph.Add(dict.Get(t.s), dict.Get(t.p), dict.Get(t.o));
-                    return true;
-                  });
+      bench.endpoint->MatchShard(
+          i, rdf::kNullTermId, rdf::kNullTermId, rdf::kNullTermId,
+          [&](const rdf::Triple& t) {
+            graph.Add(bench.endpoint->StoreTerm(t.s),
+                      bench.endpoint->StoreTerm(t.p),
+                      bench.endpoint->StoreTerm(t.o));
+            return true;
+          });
     }
     std::ofstream out(dir / "kg.ttl");
     out << rdf::WriteTurtle(graph, PrefixesFor(id));

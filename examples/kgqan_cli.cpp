@@ -8,6 +8,10 @@
 // Without a file argument it serves a bundled demo KG.  `--shards=N`
 // partitions the KG across N in-process subject-hash shards (the
 // config's endpoint_shards knob); answers are byte-identical either way.
+// `--store=compact` serves the KG from the dictionary-compressed CSR
+// store (store v2); `--snapshot-out=FILE` persists that store after
+// loading so a later run with `--snapshot-in=FILE` cold-starts from the
+// mmap'd snapshot in milliseconds instead of re-parsing the KG.
 // Multi-intention questions ("When and where was X born?") are
 // decomposed automatically; prefixing a question with "explain " prints
 // the full pipeline trace (PGP, links, candidate queries).
@@ -50,38 +54,88 @@ int main(int argc, char** argv) {
 
   core::KgqanConfig config;
   const char* kg_path = nullptr;
+  std::string snapshot_in, snapshot_out;
   for (int i = 1; i < argc; ++i) {
     std::string arg(argv[i]);
     if (arg.rfind("--shards=", 0) == 0) {
       config.endpoint_shards = std::stoul(arg.substr(9));
+    } else if (arg.rfind("--store=", 0) == 0) {
+      std::string fmt = arg.substr(8);
+      if (fmt == "compact") {
+        config.store_format = core::StoreFormat::kCompact;
+      } else if (fmt != "v1") {
+        std::fprintf(stderr, "unknown --store format '%s' (v1|compact)\n",
+                     fmt.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--snapshot-in=", 0) == 0) {
+      snapshot_in = arg.substr(14);
+    } else if (arg.rfind("--snapshot-out=", 0) == 0) {
+      snapshot_out = arg.substr(15);
     } else if (kg_path == nullptr) {
       kg_path = argv[i];
     }
   }
+  // Snapshots only exist for the compact store.
+  if (!snapshot_in.empty() || !snapshot_out.empty()) {
+    config.store_format = core::StoreFormat::kCompact;
+  }
 
-  std::string name;
-  rdf::Graph graph;
-  if (kg_path != nullptr) {
-    auto loaded = LoadGraph(kg_path);
+  std::unique_ptr<sparql::Endpoint> endpoint;
+  if (!snapshot_in.empty()) {
+    // Cold start: mmap the compact snapshot, skipping parse + index build.
+    auto loaded = sparql::CompactEndpoint::FromSnapshot(
+        snapshot_in, snapshot_in);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    loaded.status().ToString().c_str());
       return 1;
     }
-    name = kg_path;
-    graph = std::move(loaded).value();
+    std::printf("(mmap-loaded compact snapshot %s)\n", snapshot_in.c_str());
+    endpoint = std::move(loaded).value();
   } else {
-    benchgen::BuiltKg kg =
-        benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.3, 99);
-    std::printf("(no KG file given; serving a bundled demo KG)\n");
-    name = "demo";
-    graph = std::move(kg.graph);
+    std::string name;
+    rdf::Graph graph;
+    if (kg_path != nullptr) {
+      auto loaded = LoadGraph(kg_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      name = kg_path;
+      graph = std::move(loaded).value();
+    } else {
+      benchgen::BuiltKg kg =
+          benchgen::BuildGeneralKg(benchgen::KgFlavor::kDbpedia, 0.3, 99);
+      std::printf("(no KG file given; serving a bundled demo KG)\n");
+      name = "demo";
+      graph = std::move(kg.graph);
+    }
+    endpoint = serve::MakeEndpoint(std::move(name), std::move(graph),
+                                   config.endpoint_shards, {},
+                                   config.store_format);
   }
-  std::unique_ptr<sparql::Endpoint> endpoint = serve::MakeEndpoint(
-      std::move(name), std::move(graph), config.endpoint_shards);
-  if (config.endpoint_shards > 1) {
+  if (config.endpoint_shards > 1 && snapshot_in.empty()) {
     std::printf("(endpoint partitioned across %zu subject-hash shards)\n",
                 config.endpoint_shards);
+  } else if (config.store_format == core::StoreFormat::kCompact) {
+    std::printf("(serving from the compact dictionary-compressed store)\n");
+  }
+  if (!snapshot_out.empty()) {
+    auto* compact = dynamic_cast<sparql::CompactEndpoint*>(endpoint.get());
+    if (compact == nullptr) {
+      std::fprintf(stderr,
+                   "--snapshot-out requires the compact single-store "
+                   "endpoint (drop --shards)\n");
+      return 2;
+    }
+    util::Status st = compact->WriteSnapshot(snapshot_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("(wrote compact snapshot %s)\n", snapshot_out.c_str());
   }
   std::printf("KG ready: %zu triples.  Ask a question per line; Ctrl-D to "
               "exit.\n",

@@ -11,6 +11,15 @@
 
 namespace kgqan::core {
 
+// Physical triple-store layout behind the endpoint facade.  `kV1` is the
+// original six-array hexastore; `kCompact` is the dictionary-compressed,
+// snapshot-capable CSR store (store v2).  Either way answers are
+// byte-identical (the compact differential battery's bar).
+enum class StoreFormat {
+  kV1 = 0,
+  kCompact = 1,
+};
+
 struct KgqanConfig {
   // "Max Fetched Vertices": result cap of the potentialRelevantVertices
   // text query (maxVR; Sec. 5.1).
@@ -145,6 +154,11 @@ struct KgqanConfig {
   // battery's bar).  <= 1 keeps the plain single-store endpoint.  Applied
   // when the endpoint is built via serve::MakeEndpoint.
   size_t endpoint_shards = 1;
+
+  // Physical store layout for the endpoint built via serve::MakeEndpoint.
+  // kCompact selects the compressed CSR store (single-store backend only;
+  // endpoint_shards > 1 keeps the v1 sharded backend).
+  StoreFormat store_format = StoreFormat::kV1;
 
   // Question-understanding model variant (Table 4 ablation).
   qu::TriplePatternGenerator::Options qu;

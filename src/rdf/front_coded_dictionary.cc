@@ -1,0 +1,213 @@
+#include "rdf/front_coded_dictionary.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/varint.h"
+
+namespace kgqan::rdf {
+
+namespace {
+constexpr char kSep = '\x1f';
+}  // namespace
+
+std::string FrontCodedDictionary::EncodeTermKey(const Term& term) {
+  std::string key;
+  key.reserve(1 + term.value.size() + term.datatype.size() + term.lang.size() +
+              2);
+  key.push_back(static_cast<char>(term.kind));
+  key += term.value;
+  key.push_back(kSep);
+  key += term.datatype;
+  key.push_back(kSep);
+  key += term.lang;
+  return key;
+}
+
+Term FrontCodedDictionary::DecodeTermKey(std::string_view key) {
+  Term term;
+  term.kind = static_cast<TermKind>(key[0]);
+  const size_t sep2 = key.rfind(kSep);
+  const size_t sep1 = key.rfind(kSep, sep2 - 1);
+  term.value = std::string(key.substr(1, sep1 - 1));
+  term.datatype = std::string(key.substr(sep1 + 1, sep2 - sep1 - 1));
+  term.lang = std::string(key.substr(sep2 + 1));
+  return term;
+}
+
+FrontCodedDictionary::FrontCodedDictionary(const TermDictionary& dict) {
+  std::vector<std::pair<std::string, TermId>> keyed;
+  keyed.reserve(dict.size());
+  for (TermId id = 1; id <= dict.MaxId(); ++id) {
+    keyed.emplace_back(EncodeTermKey(dict.Get(id)), id);
+  }
+  Build(std::move(keyed));
+}
+
+void FrontCodedDictionary::Build(
+    std::vector<std::pair<std::string, TermId>> keyed) {
+  std::sort(keyed.begin(), keyed.end());
+
+  const size_t n = keyed.size();
+  std::vector<uint8_t> pool;
+  std::vector<uint64_t> bucket_offsets;
+  std::vector<uint32_t> sorted_to_id(n);
+  std::vector<uint32_t> id_to_sorted(n + 1, 0);
+
+  bucket_offsets.reserve(n / kBucket + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& key = keyed[i].first;
+    if (i % kBucket == 0) {
+      bucket_offsets.push_back(pool.size());
+      util::AppendVarint(&pool, key.size());
+      pool.insert(pool.end(), key.begin(), key.end());
+    } else {
+      const std::string& prev = keyed[i - 1].first;
+      const size_t max_lcp = std::min(prev.size(), key.size());
+      size_t lcp = 0;
+      while (lcp < max_lcp && prev[lcp] == key[lcp]) ++lcp;
+      util::AppendVarint(&pool, lcp);
+      util::AppendVarint(&pool, key.size() - lcp);
+      pool.insert(pool.end(), key.begin() + lcp, key.end());
+    }
+    sorted_to_id[i] = keyed[i].second;
+    id_to_sorted[keyed[i].second] = static_cast<uint32_t>(i);
+  }
+
+  base_terms_ = n;
+  pool_.Own(std::move(pool));
+  bucket_offsets_.Own(std::move(bucket_offsets));
+  sorted_to_id_.Own(std::move(sorted_to_id));
+  id_to_sorted_.Own(std::move(id_to_sorted));
+  extra_terms_.clear();
+  extra_ids_.clear();
+}
+
+std::string_view FrontCodedDictionary::BucketHeader(size_t b) const {
+  size_t pos = bucket_offsets_[b];
+  const uint64_t len = util::ReadVarint(pool_.data(), &pos);
+  return std::string_view(reinterpret_cast<const char*>(pool_.data()) + pos,
+                          len);
+}
+
+std::string FrontCodedDictionary::KeyAt(size_t target) const {
+  const size_t b = target / kBucket;
+  size_t pos = bucket_offsets_[b];
+  const uint64_t header_len = util::ReadVarint(pool_.data(), &pos);
+  std::string key(reinterpret_cast<const char*>(pool_.data()) + pos,
+                  header_len);
+  pos += header_len;
+  for (size_t i = b * kBucket + 1; i <= target; ++i) {
+    const uint64_t lcp = util::ReadVarint(pool_.data(), &pos);
+    const uint64_t suffix_len = util::ReadVarint(pool_.data(), &pos);
+    key.resize(lcp);
+    key.append(reinterpret_cast<const char*>(pool_.data()) + pos, suffix_len);
+    pos += suffix_len;
+  }
+  return key;
+}
+
+Term FrontCodedDictionary::Get(TermId id) const {
+  if (id > base_terms_) return extra_terms_[id - base_terms_ - 1];
+  return DecodeTermKey(KeyAt(id_to_sorted_[id]));
+}
+
+std::optional<TermId> FrontCodedDictionary::Find(const Term& term) const {
+  const std::string key = EncodeTermKey(term);
+  if (base_terms_ != 0) {
+    // Last bucket whose header is <= key.
+    size_t lo = 0;
+    size_t hi = bucket_offsets_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (BucketHeader(mid) <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo > 0) {
+      const size_t b = lo - 1;
+      size_t pos = bucket_offsets_[b];
+      const uint64_t header_len = util::ReadVarint(pool_.data(), &pos);
+      std::string cur(reinterpret_cast<const char*>(pool_.data()) + pos,
+                      header_len);
+      pos += header_len;
+      const size_t first = b * kBucket;
+      const size_t last = std::min(first + kBucket, base_terms_);
+      for (size_t i = first; i < last; ++i) {
+        if (i != first) {
+          const uint64_t lcp = util::ReadVarint(pool_.data(), &pos);
+          const uint64_t suffix_len = util::ReadVarint(pool_.data(), &pos);
+          cur.resize(lcp);
+          cur.append(reinterpret_cast<const char*>(pool_.data()) + pos,
+                     suffix_len);
+          pos += suffix_len;
+        }
+        if (cur == key) return sorted_to_id_[i];
+        if (cur > key) break;
+      }
+    }
+  }
+  const auto it = extra_ids_.find(key);
+  if (it != extra_ids_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::optional<TermId> FrontCodedDictionary::FindIri(
+    std::string_view iri) const {
+  Term term;
+  term.kind = TermKind::kIri;
+  term.value = std::string(iri);
+  return Find(term);
+}
+
+TermId FrontCodedDictionary::Intern(const Term& term) {
+  if (const auto existing = Find(term)) return *existing;
+  extra_terms_.push_back(term);
+  const TermId id = static_cast<TermId>(base_terms_ + extra_terms_.size());
+  extra_ids_.emplace(EncodeTermKey(term), id);
+  return id;
+}
+
+void FrontCodedDictionary::Fold() {
+  if (extra_terms_.empty()) return;
+  std::vector<std::pair<std::string, TermId>> keyed;
+  keyed.reserve(size());
+  for (size_t i = 0; i < base_terms_; ++i) {
+    keyed.emplace_back(KeyAt(i), sorted_to_id_[i]);
+  }
+  for (size_t i = 0; i < extra_terms_.size(); ++i) {
+    keyed.emplace_back(EncodeTermKey(extra_terms_[i]),
+                       static_cast<TermId>(base_terms_ + 1 + i));
+  }
+  Build(std::move(keyed));
+}
+
+size_t FrontCodedDictionary::ApproxBytes() const {
+  size_t bytes = pool_.PayloadBytes() + bucket_offsets_.PayloadBytes() +
+                 sorted_to_id_.PayloadBytes() + id_to_sorted_.PayloadBytes();
+  bytes += extra_terms_.capacity() * sizeof(Term);
+  for (const Term& t : extra_terms_) {
+    bytes += t.value.size() + t.datatype.size() + t.lang.size();
+  }
+  for (const auto& [key, id] : extra_ids_) {
+    bytes += key.size() + sizeof(id) + 32;
+  }
+  return bytes;
+}
+
+void FrontCodedDictionary::AdoptBorrowed(
+    const uint8_t* pool, size_t pool_len, const uint64_t* bucket_offsets,
+    size_t num_buckets, const uint32_t* sorted_to_id,
+    const uint32_t* id_to_sorted, size_t num_terms) {
+  base_terms_ = num_terms;
+  pool_.Borrow(pool, pool_len);
+  bucket_offsets_.Borrow(bucket_offsets, num_buckets);
+  sorted_to_id_.Borrow(sorted_to_id, num_terms);
+  id_to_sorted_.Borrow(id_to_sorted, num_terms + 1);
+  extra_terms_.clear();
+  extra_ids_.clear();
+}
+
+}  // namespace kgqan::rdf

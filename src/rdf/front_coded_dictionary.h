@@ -1,0 +1,125 @@
+// Front-coded sorted term dictionary: the compressed companion of
+// TermDictionary for the compact store (RDF-TDAA-style).
+//
+// Terms are encoded to composite byte keys (kind + value + 0x1f + datatype
+// + 0x1f + lang — the same shape TermDictionary hashes), sorted, and packed
+// into buckets of kBucket keys: the bucket header stores its first key in
+// full, every following key stores only (shared-prefix length, suffix).
+// Because consecutive sorted IRIs share long prefixes, the pool is a
+// fraction of the raw string bytes.
+//
+// TermIds are NOT reassigned: two permutation arrays (sorted position ->
+// id, id -> sorted position) preserve the interning-order ids of the source
+// TermDictionary exactly, so a compact store built from the same graph
+// scans in the same key order as the v1 store — the byte-identity
+// precondition of the differential battery.
+//
+// Lookups: term -> id is a binary search over bucket headers plus one
+// bucket decode, O(log n + kBucket); id -> term decodes one bucket from its
+// header, O(kBucket).  Get() therefore returns Term BY VALUE (there is no
+// materialized Term to reference) — callers that bind `const Term&` to the
+// result get the usual lifetime extension.
+//
+// Live interning (endpoint updates) appends to a small uncompressed extras
+// overlay with ids above the front-coded base; Fold() re-sorts everything
+// into one front-coded pool, again without changing any id.
+
+#ifndef KGQAN_RDF_FRONT_CODED_DICTIONARY_H_
+#define KGQAN_RDF_FRONT_CODED_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/term_dictionary.h"
+#include "util/vec_view.h"
+
+namespace kgqan::rdf {
+
+class FrontCodedDictionary {
+ public:
+  static constexpr size_t kBucket = 16;
+
+  FrontCodedDictionary() = default;
+
+  // Builds the front-coded pool from `dict`, preserving every id: Get(i)
+  // returns the same term as dict.Get(i) for i in [1, dict.MaxId()].
+  explicit FrontCodedDictionary(const TermDictionary& dict);
+
+  FrontCodedDictionary(const FrontCodedDictionary&) = delete;
+  FrontCodedDictionary& operator=(const FrontCodedDictionary&) = delete;
+  FrontCodedDictionary(FrontCodedDictionary&&) = default;
+  FrontCodedDictionary& operator=(FrontCodedDictionary&&) = default;
+
+  // Id of `term`, appending it to the extras overlay if absent (ids grow
+  // in call order, mirroring TermDictionary::Intern).
+  TermId Intern(const Term& term);
+
+  std::optional<TermId> Find(const Term& term) const;
+  std::optional<TermId> FindIri(std::string_view iri) const;
+
+  // Decodes the term with id `id` (pre-condition: 1 <= id <= MaxId()).
+  Term Get(TermId id) const;
+
+  size_t size() const { return base_terms_ + extra_terms_.size(); }
+  TermId MaxId() const { return static_cast<TermId>(size()); }
+  size_t extra_terms() const { return extra_terms_.size(); }
+
+  // Re-front-codes the base + extras into one sorted pool; ids unchanged.
+  void Fold();
+
+  // Heap/pool bytes: front-coded pool + permutation arrays + extras.
+  size_t ApproxBytes() const;
+
+  // Raw sections for snapshot serialization (pre-condition: no extras —
+  // the store folds before writing).
+  const util::VecView<uint8_t>& pool() const { return pool_; }
+  const util::VecView<uint64_t>& bucket_offsets() const {
+    return bucket_offsets_;
+  }
+  const util::VecView<uint32_t>& sorted_to_id() const { return sorted_to_id_; }
+  const util::VecView<uint32_t>& id_to_sorted() const { return id_to_sorted_; }
+
+  // Points the dictionary at snapshot sections owned by the caller (the
+  // store's mmap); `num_terms` is the base term count.
+  void AdoptBorrowed(const uint8_t* pool, size_t pool_len,
+                     const uint64_t* bucket_offsets, size_t num_buckets,
+                     const uint32_t* sorted_to_id,
+                     const uint32_t* id_to_sorted, size_t num_terms);
+
+  // The composite sort/lookup key (same fields TermDictionary hashes).
+  static std::string EncodeTermKey(const Term& term);
+  // Inverse of EncodeTermKey.  Splits on the LAST two 0x1f bytes, so term
+  // values containing 0x1f round-trip (datatype IRIs and language tags
+  // never contain control bytes).
+  static Term DecodeTermKey(std::string_view key);
+
+ private:
+  // Rebuilds the front-coded base from (key, id) pairs; `keyed` is
+  // consumed.  Every id in [1, num_terms] must appear exactly once.
+  void Build(std::vector<std::pair<std::string, TermId>> keyed);
+
+  // Decoded key of sorted position `pos` (pre-condition: pos < base_terms_).
+  std::string KeyAt(size_t pos) const;
+
+  // Full first key of bucket `b`, as a view into the pool.
+  std::string_view BucketHeader(size_t b) const;
+
+  size_t base_terms_ = 0;
+  util::VecView<uint8_t> pool_;
+  util::VecView<uint64_t> bucket_offsets_;  // bucket -> pool byte offset
+  util::VecView<uint32_t> sorted_to_id_;    // sorted position -> id
+  util::VecView<uint32_t> id_to_sorted_;    // id -> sorted position; [0] unused
+
+  std::vector<Term> extra_terms_;  // ids base_terms_ + 1 + i
+  std::unordered_map<std::string, TermId> extra_ids_;
+};
+
+}  // namespace kgqan::rdf
+
+#endif  // KGQAN_RDF_FRONT_CODED_DICTIONARY_H_

@@ -53,6 +53,22 @@ ShardedEndpoint::ShardedEndpoint(std::string name, rdf::Graph graph,
   for (size_t i = 0; i < store_.num_shards(); ++i) {
     published_shard_lookups_[i].store(0, std::memory_order_relaxed);
   }
+  PublishStoreGauges();
+}
+
+void ShardedEndpoint::PublishStoreGauges() const {
+  // The shared dictionary is endpoint-global, published once; per-shard
+  // gauges carry only each shard's own permutation indexes.
+  const size_t dict = store_.dictionary().ApproxBytes();
+  SetGauge("store.dict_bytes", dict);
+  SetGauge("store.overlay_triples", 0);
+  size_t index_total = 0;
+  for (size_t i = 0; i < store_.num_shards(); ++i) {
+    const size_t shard_bytes = store_.shard(i).ApproxIndexBytes();
+    SetGauge("store.index_bytes." + std::to_string(i), shard_bytes);
+    index_total += shard_bytes;
+  }
+  SetGauge("store.index_bytes", index_total);
 }
 
 void ShardedEndpoint::PublishShardMetrics() {
@@ -114,11 +130,17 @@ size_t ShardedEndpoint::InsertTriples(
 
 std::unique_ptr<sparql::Endpoint> MakeEndpoint(
     std::string name, rdf::Graph graph, size_t endpoint_shards,
-    sparql::EndpointOptions options) {
+    sparql::EndpointOptions options, core::StoreFormat format) {
   if (endpoint_shards <= 1) {
+    if (format == core::StoreFormat::kCompact) {
+      return std::make_unique<sparql::CompactEndpoint>(
+          std::move(name), std::move(graph), options);
+    }
     return std::make_unique<sparql::LocalEndpoint>(
         std::move(name), std::move(graph), options);
   }
+  // The sharded backend partitions v1 stores; `format` selects only the
+  // single-store layout (a compact sharded backend is follow-up work).
   return std::make_unique<ShardedEndpoint>(std::move(name), std::move(graph),
                                            endpoint_shards, options);
 }

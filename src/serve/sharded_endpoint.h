@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/config.h"
 #include "obs/metrics.h"
 #include "rdf/graph.h"
 #include "sparql/endpoint.h"
@@ -51,8 +52,21 @@ class ShardedEndpoint : public sparql::Endpoint {
 
   size_t NumTriples() const override { return store_.size(); }
   size_t num_store_shards() const override { return store_.num_shards(); }
-  const store::TripleStore& store_shard(size_t shard) const override {
-    return store_.shard(shard);
+  void MatchShard(
+      size_t shard, rdf::TermId s, rdf::TermId p, rdf::TermId o,
+      const std::function<bool(const rdf::Triple&)>& fn) const override {
+    store_.shard(shard).Match(s, p, o, fn);
+  }
+  rdf::Term StoreTerm(rdf::TermId id) const override {
+    // Term ids are endpoint-global: every shard shares one dictionary.
+    return store_.dictionary().Get(id);
+  }
+  std::optional<rdf::TermId> FindStoreIri(
+      std::string_view iri) const override {
+    return store_.dictionary().FindIri(iri);
+  }
+  size_t ShardNumTriples(size_t shard) const override {
+    return store_.shard(shard).size();
   }
   size_t ApproxIndexBytes() const override {
     return store_.ApproxIndexBytes() + text_index_->ApproxIndexBytes();
@@ -83,6 +97,11 @@ class ShardedEndpoint : public sparql::Endpoint {
   // never double-count).
   void PublishShardMetrics();
 
+  // Publishes per-shard store.index_bytes.<i> / store.overlay_triples.<i>
+  // gauges plus the endpoint-global store.dict_bytes (the shared
+  // dictionary is counted exactly once).
+  void PublishStoreGauges() const;
+
   store::ShardedStore store_;
   std::unique_ptr<text::ShardedTextIndex> text_index_;
   // Dedicated pool for fanning text probes across shards; distinct from
@@ -101,13 +120,17 @@ class ShardedEndpoint : public sparql::Endpoint {
   std::unique_ptr<std::atomic<uint64_t>[]> published_shard_lookups_;
 };
 
-// Builds the endpoint backend selected by `endpoint_shards`: the plain
-// single-store LocalEndpoint when <= 1, a ShardedEndpoint otherwise.
-// Either way the caller holds an opaque sparql::Endpoint, the only
-// interface the QA pipeline is allowed to use.
+// Builds the endpoint backend selected by `endpoint_shards` and `format`:
+// the single-store LocalEndpoint (v1) or CompactEndpoint (compact) when
+// endpoint_shards <= 1, a ShardedEndpoint otherwise (the sharded backend
+// always partitions v1 stores — a compact sharded backend is follow-up
+// work, so `format` is ignored when sharding).  Either way the caller
+// holds an opaque sparql::Endpoint, the only interface the QA pipeline is
+// allowed to use.
 std::unique_ptr<sparql::Endpoint> MakeEndpoint(
     std::string name, rdf::Graph graph, size_t endpoint_shards,
-    sparql::EndpointOptions options = {});
+    sparql::EndpointOptions options = {},
+    core::StoreFormat format = core::StoreFormat::kV1);
 
 }  // namespace kgqan::serve
 

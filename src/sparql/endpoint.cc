@@ -79,6 +79,12 @@ void Endpoint::RecordCancelled() {
   }
 }
 
+void Endpoint::SetGauge(std::string_view name, size_t value) {
+  obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(name);
+  const int64_t delta = static_cast<int64_t>(value) - gauge.Value();
+  if (delta != 0) gauge.Add(delta);
+}
+
 util::StatusOr<ResultSet> Endpoint::QueryBatch(std::string_view sparql,
                                                size_t num_probes) {
   // Fail fast on an expired request: the query never leaves the client,
@@ -159,6 +165,7 @@ LocalEndpoint::LocalEndpoint(std::string name, rdf::Graph graph,
     : Endpoint(std::move(name), options),
       store_(std::move(graph), options.build_threads) {
   text_index_ = std::make_unique<text::TextIndex>(store_);
+  PublishStoreGauges();
 }
 
 util::StatusOr<ResultSet> LocalEndpoint::EvaluateQuery(
@@ -177,8 +184,73 @@ size_t LocalEndpoint::InsertTriples(
     // The built-in full-text index covers the new literals after a
     // rebuild, as an RDF engine's background indexer would.
     text_index_ = std::make_unique<text::TextIndex>(store_);
+    PublishStoreGauges();
   }
   return added;
+}
+
+void LocalEndpoint::PublishStoreGauges() const {
+  // v1 keeps decoded Terms in the dictionary, so its whole footprint is
+  // index + dictionary; it has no delta overlay.
+  const size_t dict = store_.dictionary().ApproxBytes();
+  const size_t total = store_.ApproxIndexBytes();
+  SetGauge("store.index_bytes", total > dict ? total - dict : 0);
+  SetGauge("store.dict_bytes", dict);
+  SetGauge("store.overlay_triples", 0);
+}
+
+CompactEndpoint::CompactEndpoint(std::string name, rdf::Graph graph,
+                                 EndpointOptions options)
+    : Endpoint(std::move(name), options),
+      store_(std::move(graph), options.build_threads) {
+  text_index_ = std::make_unique<text::TextIndex>(store_);
+  PublishStoreGauges();
+}
+
+CompactEndpoint::CompactEndpoint(std::string name, store::CompactStore store,
+                                 EndpointOptions options)
+    : Endpoint(std::move(name), options), store_(std::move(store)) {
+  text_index_ = std::make_unique<text::TextIndex>(store_);
+  PublishStoreGauges();
+}
+
+util::StatusOr<std::unique_ptr<CompactEndpoint>> CompactEndpoint::FromSnapshot(
+    std::string name, const std::string& snapshot_path,
+    EndpointOptions options) {
+  store::CompactStore store;
+  KGQAN_RETURN_IF_ERROR(store.LoadSnapshot(snapshot_path));
+  return std::unique_ptr<CompactEndpoint>(
+      new CompactEndpoint(std::move(name), std::move(store), options));
+}
+
+util::StatusOr<ResultSet> CompactEndpoint::EvaluateQuery(
+    std::string_view sparql) {
+  KGQAN_ASSIGN_OR_RETURN(sparql::Query query, ParseQuery(sparql));
+  std::shared_lock<std::shared_mutex> lock(data_mutex());
+  return Evaluate(query, store_, *text_index_, eval_options_);
+}
+
+size_t CompactEndpoint::InsertTriples(
+    const std::vector<std::array<rdf::Term, 3>>& triples) {
+  size_t added = store_.Insert(triples);
+  if (added > 0) {
+    text_index_ = std::make_unique<text::TextIndex>(store_);
+    PublishStoreGauges();
+  }
+  return added;
+}
+
+util::Status CompactEndpoint::WriteSnapshot(const std::string& path) {
+  // WriteSnapshot compacts the overlay first, so republish the gauges.
+  util::Status status = store_.WriteSnapshot(path);
+  PublishStoreGauges();
+  return status;
+}
+
+void CompactEndpoint::PublishStoreGauges() const {
+  SetGauge("store.index_bytes", store_.index_bytes() + store_.overlay_bytes());
+  SetGauge("store.dict_bytes", store_.dict_bytes());
+  SetGauge("store.overlay_triples", store_.overlay_triples());
 }
 
 }  // namespace kgqan::sparql

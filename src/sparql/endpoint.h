@@ -43,7 +43,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -53,6 +55,7 @@
 #include "rdf/graph.h"
 #include "sparql/evaluator.h"
 #include "sparql/result_set.h"
+#include "store/compact_store.h"
 #include "store/triple_store.h"
 #include "text/text_index.h"
 #include "util/status.h"
@@ -103,11 +106,26 @@ class Endpoint {
   virtual size_t NumTriples() const = 0;
 
   // Physical store layout, for index-building baselines (which, unlike
-  // KGQAn, pre-process the KG) and tests: the number of store shards (1
-  // for a local endpoint) and each shard's TripleStore.  Iterating every
-  // shard visits every triple exactly once.
+  // KGQAn, pre-process the KG) and tests.  The accessors are
+  // backend-agnostic — v1 arrays, subject-hash shards and the compressed
+  // compact store all answer them — so facade consumers never name a
+  // concrete store type.  Iterating every shard's MatchShard visits every
+  // triple exactly once; term ids are endpoint-global (sharded backends
+  // share one dictionary).
   virtual size_t num_store_shards() const = 0;
-  virtual const store::TripleStore& store_shard(size_t shard) const = 0;
+  // Calls `fn(triple)` for every triple of shard `shard` matching the
+  // pattern (kNullTermId components are wildcards); `fn` returns false to
+  // stop early.
+  virtual void MatchShard(
+      size_t shard, rdf::TermId s, rdf::TermId p, rdf::TermId o,
+      const std::function<bool(const rdf::Triple&)>& fn) const = 0;
+  // Term with id `id`, by value: a compact backend decodes terms on
+  // demand from its front-coded dictionary, so there may be no stored
+  // Term to reference.
+  virtual rdf::Term StoreTerm(rdf::TermId id) const = 0;
+  virtual std::optional<rdf::TermId> FindStoreIri(
+      std::string_view iri) const = 0;
+  virtual size_t ShardNumTriples(size_t shard) const = 0;
 
   // Approximate bytes held by the backend's indexes and dictionary.
   virtual size_t ApproxIndexBytes() const = 0;
@@ -198,6 +216,13 @@ class Endpoint {
   // Records one cancelled query (metrics + trace attribution).
   void RecordCancelled();
 
+  // Sets registry gauge `name` to an absolute value (gauges only expose
+  // Add/Sub, so this publishes the delta against the live value).  Used
+  // by backends to surface store memory in /stats: `store.index_bytes`,
+  // `store.dict_bytes`, `store.overlay_triples` (suffixed `.<shard>` on
+  // sharded backends).
+  static void SetGauge(std::string_view name, size_t value);
+
   EvalOptions eval_options_;
 
  private:
@@ -234,9 +259,19 @@ class LocalEndpoint : public Endpoint {
 
   size_t NumTriples() const override { return store_.size(); }
   size_t num_store_shards() const override { return 1; }
-  const store::TripleStore& store_shard(size_t) const override {
-    return store_;
+  void MatchShard(
+      size_t, rdf::TermId s, rdf::TermId p, rdf::TermId o,
+      const std::function<bool(const rdf::Triple&)>& fn) const override {
+    store_.Match(s, p, o, fn);
   }
+  rdf::Term StoreTerm(rdf::TermId id) const override {
+    return store_.dictionary().Get(id);
+  }
+  std::optional<rdf::TermId> FindStoreIri(
+      std::string_view iri) const override {
+    return store_.dictionary().FindIri(iri);
+  }
+  size_t ShardNumTriples(size_t) const override { return store_.size(); }
   size_t ApproxIndexBytes() const override {
     return store_.ApproxIndexBytes();
   }
@@ -252,7 +287,70 @@ class LocalEndpoint : public Endpoint {
       const std::vector<std::array<rdf::Term, 3>>& triples) override;
 
  private:
+  void PublishStoreGauges() const;
+
   store::TripleStore store_;
+  std::unique_ptr<text::TextIndex> text_index_;
+};
+
+// The compact-store backend (store v2): one dictionary-compressed,
+// snapshot-capable CompactStore plus the built-in full-text index, behind
+// the identical facade.  Answers are byte-identical to LocalEndpoint over
+// the same graph (the compact differential battery's bar); live updates
+// flow through the store's delta overlay.
+class CompactEndpoint : public Endpoint {
+ public:
+  // Builds the compressed store and its full-text index over `graph`.
+  CompactEndpoint(std::string name, rdf::Graph graph,
+                  EndpointOptions options = {});
+
+  // Cold start: serves a snapshot previously written by WriteSnapshot,
+  // mmap-loading the store in milliseconds instead of re-parsing and
+  // re-sorting.  (The text index is rebuilt from the store — it is a
+  // derived structure, not part of the snapshot.)
+  static util::StatusOr<std::unique_ptr<CompactEndpoint>> FromSnapshot(
+      std::string name, const std::string& snapshot_path,
+      EndpointOptions options = {});
+
+  size_t NumTriples() const override { return store_.size(); }
+  size_t num_store_shards() const override { return 1; }
+  void MatchShard(
+      size_t, rdf::TermId s, rdf::TermId p, rdf::TermId o,
+      const std::function<bool(const rdf::Triple&)>& fn) const override {
+    store_.Match(s, p, o, fn);
+  }
+  rdf::Term StoreTerm(rdf::TermId id) const override {
+    return store_.dictionary().Get(id);
+  }
+  std::optional<rdf::TermId> FindStoreIri(
+      std::string_view iri) const override {
+    return store_.dictionary().FindIri(iri);
+  }
+  size_t ShardNumTriples(size_t) const override { return store_.size(); }
+  size_t ApproxIndexBytes() const override {
+    return store_.ApproxIndexBytes();
+  }
+
+  // Folds the overlay and persists the store to `path`.  Configuration
+  // call — do not race against queries.
+  util::Status WriteSnapshot(const std::string& path);
+
+  // Direct substrate access — for tests and benchmarks.
+  const store::CompactStore& store() const { return store_; }
+  const text::TextIndex& text_index() const { return *text_index_; }
+
+ protected:
+  util::StatusOr<ResultSet> EvaluateQuery(std::string_view sparql) override;
+  size_t InsertTriples(
+      const std::vector<std::array<rdf::Term, 3>>& triples) override;
+
+ private:
+  CompactEndpoint(std::string name, store::CompactStore store,
+                  EndpointOptions options);
+
+  void PublishStoreGauges() const;
+
+  store::CompactStore store_;
   std::unique_ptr<text::TextIndex> text_index_;
 };
 

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparql/planner.h"
+#include "store/compact_store.h"
 #include "store/sharded_store.h"
 #include "text/sharded_text_index.h"
 #include "util/cancel.h"
@@ -375,8 +376,10 @@ class Evaluator {
   }
 
   // Term lookup that also resolves overlay ids (pre-condition: id is a
-  // store id or was returned by InternValue; not kNullTermId).
-  const Term& TermOf(TermId id) const {
+  // store id or was returned by InternValue; not kNullTermId).  Returned
+  // by value: a compact store's front-coded dictionary decodes terms on
+  // demand, so there is no stored Term to reference.
+  Term TermOf(TermId id) const {
     TermId max_store = store_.dictionary().MaxId();
     if (id <= max_store) return store_.dictionary().Get(id);
     return overlay_terms_[id - max_store - 1];
@@ -1657,6 +1660,13 @@ StatusOr<ResultSet> Evaluate(const Query& query,
 StatusOr<ResultSet> Evaluate(const Query& query,
                              const store::ShardedStore& store,
                              const text::ShardedTextIndex& text_index,
+                             const EvalOptions& options) {
+  return EvaluateImpl(query, store, text_index, options);
+}
+
+StatusOr<ResultSet> Evaluate(const Query& query,
+                             const store::CompactStore& store,
+                             const text::TextIndex& text_index,
                              const EvalOptions& options) {
   return EvaluateImpl(query, store, text_index, options);
 }

@@ -31,6 +31,7 @@ class ThreadPool;
 }  // namespace kgqan::util
 
 namespace kgqan::store {
+class CompactStore;
 class ShardedStore;
 }  // namespace kgqan::store
 
@@ -140,6 +141,15 @@ util::StatusOr<ResultSet> Evaluate(const Query& query,
 util::StatusOr<ResultSet> Evaluate(const Query& query,
                                    const store::ShardedStore& store,
                                    const text::ShardedTextIndex& text_index,
+                                   const EvalOptions& options = {});
+
+// Compact-store overload (store v2): same evaluator and planner on the
+// compressed CSR backend.  CompactScanRange sizes count exactly the
+// matching triples, so plans — and therefore result bytes — are identical
+// to the v1 store on the same graph.
+util::StatusOr<ResultSet> Evaluate(const Query& query,
+                                   const store::CompactStore& store,
+                                   const text::TextIndex& text_index,
                                    const EvalOptions& options = {});
 
 }  // namespace kgqan::sparql

@@ -1,0 +1,250 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace kgqan::store {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 16;         // magic, version, count, pad
+constexpr size_t kTableEntryBytes = 32;     // id, pad, offset, length, checksum
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+}  // namespace
+
+uint64_t SnapshotChecksum(const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void SnapshotWriter::AddSection(uint32_t id, const void* data, size_t len) {
+  sections_.push_back({id, static_cast<const uint8_t*>(data), len});
+}
+
+util::Status SnapshotWriter::WriteTo(const std::string& path) const {
+  // Lay out payload offsets: header, table, then 8-byte-aligned sections.
+  const size_t table_bytes = sections_.size() * kTableEntryBytes;
+  size_t offset = kHeaderBytes + table_bytes;
+
+  std::vector<uint8_t> head;
+  head.reserve(kHeaderBytes + table_bytes);
+  AppendU32(&head, kSnapshotMagic);
+  AppendU32(&head, kSnapshotVersion);
+  AppendU32(&head, static_cast<uint32_t>(sections_.size()));
+  AppendU32(&head, 0);
+
+  std::vector<size_t> offsets(sections_.size());
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    offset = (offset + 7) & ~size_t{7};
+    offsets[i] = offset;
+    AppendU32(&head, sections_[i].id);
+    AppendU32(&head, 0);
+    AppendU64(&head, offset);
+    AppendU64(&head, sections_[i].len);
+    AppendU64(&head, SnapshotChecksum(sections_[i].data, sections_[i].len));
+    offset += sections_[i].len;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::Internal("snapshot: cannot open " + path +
+                                  " for writing");
+  }
+  bool ok = std::fwrite(head.data(), 1, head.size(), f) == head.size();
+  size_t written = head.size();
+  static constexpr uint8_t kZeros[8] = {};
+  for (size_t i = 0; ok && i < sections_.size(); ++i) {
+    const size_t pad = offsets[i] - written;
+    ok = std::fwrite(kZeros, 1, pad, f) == pad;
+    if (ok && sections_[i].len > 0) {
+      ok = std::fwrite(sections_[i].data, 1, sections_[i].len, f) ==
+           sections_[i].len;
+    }
+    written = offsets[i] + sections_[i].len;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return util::Status::Internal("snapshot: short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+SnapshotReader::~SnapshotReader() { Reset(); }
+
+SnapshotReader::SnapshotReader(SnapshotReader&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      mapped_len_(std::exchange(other.mapped_len_, 0)),
+      sections_(std::move(other.sections_)) {}
+
+SnapshotReader& SnapshotReader::operator=(SnapshotReader&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    base_ = std::exchange(other.base_, nullptr);
+    mapped_len_ = std::exchange(other.mapped_len_, 0);
+    sections_ = std::move(other.sections_);
+  }
+  return *this;
+}
+
+void SnapshotReader::Reset() {
+  if (base_ != nullptr) {
+    munmap(const_cast<uint8_t*>(base_), mapped_len_);
+  }
+  base_ = nullptr;
+  mapped_len_ = 0;
+  sections_.clear();
+}
+
+util::Status SnapshotReader::Open(const std::string& path) {
+  Reset();
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::NotFound("snapshot: cannot open " + path);
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return util::Status::Internal("snapshot: fstat failed for " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  if (len < kHeaderBytes) {
+    close(fd);
+    return util::Status::ParseError("snapshot: file too small: " + path);
+  }
+  void* map = mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  close(fd);  // The mapping keeps the file alive.
+  if (map == MAP_FAILED) {
+    return util::Status::Internal("snapshot: mmap failed for " + path);
+  }
+  base_ = static_cast<const uint8_t*>(map);
+  mapped_len_ = len;
+
+  if (ReadU32(base_) != kSnapshotMagic) {
+    Reset();
+    return util::Status::ParseError("snapshot: bad magic in " + path);
+  }
+  if (ReadU32(base_ + 4) != kSnapshotVersion) {
+    Reset();
+    return util::Status::ParseError("snapshot: unsupported version in " +
+                                    path);
+  }
+  const uint32_t count = ReadU32(base_ + 8);
+  if (kHeaderBytes + static_cast<size_t>(count) * kTableEntryBytes > len) {
+    Reset();
+    return util::Status::ParseError("snapshot: truncated section table in " +
+                                    path);
+  }
+  // Strict layout validation: beyond per-section checksums, every byte of
+  // the file must be accounted for — header pad, table-entry pads, and the
+  // zeroed alignment gaps between sections — so any corruption is
+  // detected, not just corruption inside section payloads.
+  if (ReadU32(base_ + 12) != 0) {
+    Reset();
+    return util::Status::ParseError("snapshot: nonzero header padding in " +
+                                    path);
+  }
+  sections_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* entry = base_ + kHeaderBytes + i * kTableEntryBytes;
+    SectionEntry sec;
+    sec.id = ReadU32(entry);
+    sec.offset = ReadU64(entry + 8);
+    sec.length = ReadU64(entry + 16);
+    const uint64_t checksum = ReadU64(entry + 24);
+    if (ReadU32(entry + 4) != 0) {
+      Reset();
+      return util::Status::ParseError("snapshot: nonzero table padding in " +
+                                      path);
+    }
+    if (sec.offset > len || sec.length > len - sec.offset ||
+        (sec.offset & 7) != 0) {
+      Reset();
+      return util::Status::ParseError("snapshot: section out of bounds in " +
+                                      path);
+    }
+    if (SnapshotChecksum(base_ + sec.offset, sec.length) != checksum) {
+      Reset();
+      return util::Status::ParseError("snapshot: checksum mismatch in " +
+                                      path);
+    }
+    sections_.push_back(sec);
+  }
+  // The sections (in file order) must tile the byte range after the table
+  // exactly, with zero bytes in the alignment gaps and nothing trailing.
+  std::vector<SectionEntry> by_offset = sections_;
+  std::sort(by_offset.begin(), by_offset.end(),
+            [](const SectionEntry& a, const SectionEntry& b) {
+              return a.offset < b.offset;
+            });
+  size_t cursor = kHeaderBytes + static_cast<size_t>(count) * kTableEntryBytes;
+  for (const SectionEntry& sec : by_offset) {
+    if (sec.offset < cursor) {
+      Reset();
+      return util::Status::ParseError("snapshot: overlapping sections in " +
+                                      path);
+    }
+    for (size_t b = cursor; b < sec.offset; ++b) {
+      if (base_[b] != 0) {
+        Reset();
+        return util::Status::ParseError(
+            "snapshot: nonzero alignment padding in " + path);
+      }
+    }
+    cursor = sec.offset + sec.length;
+  }
+  if (cursor != len) {
+    Reset();
+    return util::Status::ParseError("snapshot: trailing bytes in " + path);
+  }
+  return util::Status::Ok();
+}
+
+const uint8_t* SnapshotReader::Section(uint32_t id, size_t* len) const {
+  for (const SectionEntry& sec : sections_) {
+    if (sec.id == id) {
+      *len = sec.length;
+      return base_ + sec.offset;
+    }
+  }
+  *len = 0;
+  return nullptr;
+}
+
+}  // namespace kgqan::store

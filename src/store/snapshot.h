@@ -1,0 +1,95 @@
+// Versioned on-disk snapshot container for the compact store.
+//
+// Layout (all integers little-endian, as written by the host — snapshots
+// are a cold-start cache, not an interchange format):
+//
+//   [header]   magic "KGQC" | version u32 | section_count u32 | pad u32
+//   [table]    section_count × { id u32, pad u32, offset u64, length u64,
+//                                checksum u64 }
+//   [payload]  sections, each 8-byte aligned at its table offset
+//
+// Checksums are FNV-1a 64 over the section payload and are verified when
+// the file is opened, so a truncated or bit-flipped snapshot is rejected
+// before any pointer into it escapes.  After validation the file stays
+// mmap'd for the reader's lifetime and sections are served as zero-copy
+// pointers into the mapping — the "instant cold start" path: no parsing,
+// no sorting, page-in on demand.
+
+#ifndef KGQAN_STORE_SNAPSHOT_H_
+#define KGQAN_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgqan::store {
+
+inline constexpr uint32_t kSnapshotMagic = 0x4351474Bu;  // "KGQC" LE
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// FNV-1a 64-bit over `len` bytes.
+uint64_t SnapshotChecksum(const void* data, size_t len);
+
+// Accumulates sections and writes them as one snapshot file.  Section
+// payloads are referenced, not copied: they must stay alive until
+// WriteTo() returns.
+class SnapshotWriter {
+ public:
+  void AddSection(uint32_t id, const void* data, size_t len);
+
+  // Writes header + table + payloads to `path` (replacing any existing
+  // file).
+  util::Status WriteTo(const std::string& path) const;
+
+ private:
+  struct PendingSection {
+    uint32_t id;
+    const uint8_t* data;
+    size_t len;
+  };
+  std::vector<PendingSection> sections_;
+};
+
+// Opens, validates, and mmaps a snapshot; serves zero-copy section
+// pointers.  The mapping lives as long as the reader, so the reader must
+// outlive every structure borrowing from it.
+class SnapshotReader {
+ public:
+  SnapshotReader() = default;
+  ~SnapshotReader();
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+  SnapshotReader(SnapshotReader&& other) noexcept;
+  SnapshotReader& operator=(SnapshotReader&& other) noexcept;
+
+  // Maps `path` and validates magic, version, table bounds, and every
+  // section checksum.  On error the reader is left empty.
+  util::Status Open(const std::string& path);
+
+  // Pointer to section `id`'s payload (sets `*len`), or nullptr if the
+  // snapshot has no such section.
+  const uint8_t* Section(uint32_t id, size_t* len) const;
+
+  bool is_open() const { return base_ != nullptr; }
+  size_t file_bytes() const { return mapped_len_; }
+
+ private:
+  struct SectionEntry {
+    uint32_t id;
+    uint64_t offset;
+    uint64_t length;
+  };
+
+  void Reset();
+
+  const uint8_t* base_ = nullptr;
+  size_t mapped_len_ = 0;
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace kgqan::store
+
+#endif  // KGQAN_STORE_SNAPSHOT_H_

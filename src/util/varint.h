@@ -1,0 +1,52 @@
+// LEB128 variable-length integers: the byte-level substrate of the compact
+// store's delta-encoded permutation streams and the front-coded term
+// dictionary's prefix/suffix lengths.
+//
+// Encoding is canonical little-endian base-128 (7 value bits per byte, high
+// bit = continuation), so values below 128 cost one byte — which is the
+// common case for both key deltas within a run and shared-prefix lengths.
+
+#ifndef KGQAN_UTIL_VARINT_H_
+#define KGQAN_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kgqan::util {
+
+inline void AppendVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+// Decodes the varint at `*pos`, advancing `*pos` past it.  The caller
+// guarantees the buffer holds a complete varint (the compact store's
+// streams are self-describing: entry counts bound every decode loop).
+inline uint64_t ReadVarint(const uint8_t* data, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const uint8_t byte = data[*pos];
+    ++*pos;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+// Bytes AppendVarint would emit for `value`.
+inline size_t VarintLength(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace kgqan::util
+
+#endif  // KGQAN_UTIL_VARINT_H_

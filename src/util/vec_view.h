@@ -1,0 +1,61 @@
+// A read-only array that either owns its storage (built in memory) or
+// borrows it (a section of an mmap'd snapshot).  The compact store and the
+// front-coded dictionary use one representation for both lifecycles, so
+// every accessor is a plain pointer walk regardless of how the data
+// arrived.
+//
+// Moving a VecView is safe in both states: an owned std::vector keeps its
+// heap buffer across moves, and a borrowed pointer's backing mapping is
+// owned by the containing store.
+
+#ifndef KGQAN_UTIL_VEC_VIEW_H_
+#define KGQAN_UTIL_VEC_VIEW_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace kgqan::util {
+
+template <typename T>
+class VecView {
+ public:
+  VecView() = default;
+
+  // Takes ownership of `values`.
+  void Own(std::vector<T> values) {
+    owned_ = std::move(values);
+    data_ = owned_.data();
+    len_ = owned_.size();
+  }
+
+  // Points at externally owned storage (the caller keeps it alive).
+  void Borrow(const T* data, size_t len) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = data;
+    len_ = len;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + len_; }
+
+  // Heap bytes attributable to this view (0 when borrowed: the mapping's
+  // bytes are accounted by its owner).
+  size_t OwnedBytes() const { return owned_.capacity() * sizeof(T); }
+  // Payload bytes regardless of ownership (what a snapshot section costs).
+  size_t PayloadBytes() const { return len_ * sizeof(T); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t len_ = 0;
+  std::vector<T> owned_;
+};
+
+}  // namespace kgqan::util
+
+#endif  // KGQAN_UTIL_VEC_VIEW_H_

@@ -213,7 +213,7 @@ TEST(ShardedEndpointPropertyTest, ShardCountsByteIdenticalAcrossEvalModes) {
     // least two shards own triples.
     size_t populated = 0;
     for (size_t i = 0; i < 8; ++i) {
-      if (sharded.back()->store_shard(i).size() > 0) ++populated;
+      if (sharded.back()->ShardNumTriples(i) > 0) ++populated;
     }
     EXPECT_GE(populated, 2u) << "subject hashing left the KG on one shard";
 
